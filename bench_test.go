@@ -1,0 +1,279 @@
+package mapsim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/experiments"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/reuse"
+)
+
+// Benchmarks in this file regenerate the paper's tables and figures
+// (one benchmark per exhibit, scaled down so `go test -bench=.`
+// completes in minutes) plus micro-benchmarks for the hot paths.
+// The full-scale sweeps are `cmd/maps <experiment>`.
+
+// benchOpt keeps the per-iteration sweeps small.
+var benchOpt = experiments.Options{Instructions: 120_000, Parallelism: 4}
+
+// BenchmarkTable1Config regenerates Table I (configuration dump).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Layout regenerates Table II from the layout math.
+func BenchmarkTable2Layout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table2() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1ContentPolicies regenerates Figure 1: metadata MPKI
+// under counters-only, counters+hashes, and all-types caching.
+func BenchmarkFig1ContentPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			small := experiments.MetaSizes[0]
+			b.ReportMetric(r.MPKI["canneal"][AllTypes][small], "canneal-all-MPKI@16KB")
+			b.ReportMetric(r.MPKI["canneal"][CountersOnly][small], "canneal-ctr-MPKI@16KB")
+		}
+	}
+}
+
+// BenchmarkFig2SizeSweep regenerates Figure 2: normalized ED^2 over
+// LLC x metadata-cache budgets (restricted benchmark set per
+// iteration).
+func BenchmarkFig2SizeSweep(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"canneal", "libquantum"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Norm["average"][2<<20][64<<10], "avg-ED2@2MB/64KB")
+		}
+	}
+}
+
+// BenchmarkFig3ReuseCDF regenerates Figure 3: per-type reuse CDFs.
+func BenchmarkFig3ReuseCDF(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"libquantum", "canneal"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.CDF["libquantum"][KindTree][1], "lq-tree-CDF@4KB")
+		}
+	}
+}
+
+// BenchmarkFig4Bimodal regenerates Figure 4: reuse-distance classes.
+func BenchmarkFig4Bimodal(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"libquantum", "fft"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Bimodality["libquantum"], "lq-bimodality")
+		}
+	}
+}
+
+// BenchmarkFig5RequestTypes regenerates Figure 5: reuse CDFs by
+// request-type transition for fft and leslie3d.
+func BenchmarkFig5RequestTypes(b *testing.B) {
+	opt := benchOpt
+	opt.Instructions = 1_500_000 // writebacks require a full LLC
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.Counts["fft"][KindHash][reuse.WtoW]), "fft-hash-WtoW")
+		}
+	}
+}
+
+// BenchmarkFig6EvictionPolicies regenerates Figure 6: pseudo-LRU vs
+// EVA vs MIN vs iterMIN on a 64 KB metadata cache.
+func BenchmarkFig6EvictionPolicies(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"libquantum", "fft"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MPKI["fft"]["plru"], "fft-plru-MPKI")
+			b.ReportMetric(r.MPKI["fft"]["min"], "fft-min-MPKI")
+		}
+	}
+}
+
+// BenchmarkFig7Partitioning regenerates Figure 7: partitioning
+// schemes and their ED^2 overheads.
+func BenchmarkFig7Partitioning(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"libquantum", "canneal"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Overhead["canneal"]["none"], "canneal-ED2-none")
+			b.ReportMetric(r.Overhead["canneal"]["best-static"], "canneal-ED2-best")
+		}
+	}
+}
+
+// --- micro-benchmarks on the hot paths ---
+
+// BenchmarkSimulationThroughput measures end-to-end simulated
+// instructions per second through the full secure stack.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	const instr = 200_000
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Benchmark:    "canneal",
+			Instructions: instr,
+			Secure:       true,
+			Speculation:  true,
+			Meta:         &MetaConfig{Size: 64 << 10, Ways: 8},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(instr*b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// BenchmarkFunctionalStoreLoad measures the functional (real crypto)
+// path.
+func BenchmarkFunctionalStoreLoad(b *testing.B) {
+	sm, err := NewSecureMemory(PoisonIvy, 4<<20, make([]byte, 16), []byte("k"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blk Block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%1024) * 64
+		if err := sm.Store(addr, &blk); err != nil {
+			b.Fatal(err)
+		}
+		if err := sm.Load(addr, &blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStackDistance measures the Fenwick-tree reuse analyzer.
+func BenchmarkStackDistance(b *testing.B) {
+	an := reuse.NewAnalyzer(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*2654435761) % (1 << 22)
+		an.Record(addr&^63, memlayout.KindCounter, i%7 == 0)
+	}
+}
+
+// BenchmarkLayoutMapping measures the address-map arithmetic.
+func BenchmarkLayoutMapping(b *testing.B) {
+	layout := memlayout.MustNew(memlayout.PoisonIvy, 1<<30)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*4096) % layout.DataBytes()
+		sink += layout.CounterAddr(addr) + layout.HashAddr(addr)
+	}
+	if sink == 42 {
+		fmt.Println(sink)
+	}
+}
+
+// --- benches for the extension experiments ---
+
+// BenchmarkAblatePartialWrites regenerates the §IV-E partial-write
+// ablation.
+func BenchmarkAblatePartialWrites(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"lbm"}
+	opt.Instructions = 1_200_000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblatePartial(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			h := r.HashReadsPKI["lbm"]
+			b.ReportMetric(h[0]-h[1], "lbm-hash-reads-saved/KI")
+		}
+	}
+}
+
+// BenchmarkCSOPTStudy regenerates the §V-B study (solve + replay +
+// explosion).
+func BenchmarkCSOPTStudy(b *testing.B) {
+	opt := benchOpt
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CSOPT(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.PeakStates), "peak-states")
+			b.ReportMetric(r.DivergedShare*100, "diverged-%")
+		}
+	}
+}
+
+// BenchmarkSpecWindow regenerates the speculation-window sweep.
+func BenchmarkSpecWindow(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"canneal"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SpecWindow(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Slowdown["canneal"][100][0], "canneal-slowdown@100cyc-nocache")
+		}
+	}
+}
+
+// BenchmarkTreeStretch regenerates the §IV-C tree-stretch comparison.
+func BenchmarkTreeStretch(b *testing.B) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"canneal"}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TreeStretch(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.TreeAccessesPKI["canneal"]["nocache"], "tree-req/KI-nocache")
+			b.ReportMetric(r.TreeAccessesPKI["canneal"]["cached"], "tree-req/KI-cached")
+		}
+	}
+}

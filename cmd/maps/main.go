@@ -1,0 +1,206 @@
+// Command maps regenerates the tables and figures of MAPS (ISPASS
+// 2018). Each subcommand runs one experiment's simulation sweep and
+// prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	maps [flags] <experiment> [experiment ...]
+//	maps all
+//
+// Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7, plus
+// the extensions ablate-partial, content-matrix, org-compare, csopt,
+// spec-window, and tree-stretch.
+//
+// Flags:
+//
+//	-instructions N   simulated instructions per run (default 2000000)
+//	-benchmarks a,b   restrict the benchmark set
+//	-parallel N       concurrent simulations (default NumCPU)
+//	-plot             append ASCII charts to each experiment's tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/experiments"
+)
+
+func main() {
+	instructions := flag.Uint64("instructions", 2_000_000, "simulated instructions per run")
+	withPlot := flag.Bool("plot", false, "append ASCII charts to each experiment's tables")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (default NumCPU)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Instructions: *instructions, Parallelism: *parallel}
+	if *benchmarks != "" {
+		opt.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"ablate-partial", "content-matrix", "org-compare", "csopt", "spec-window", "tree-stretch"}
+	}
+	for _, name := range names {
+		if err := runOne(name, opt, *withPlot); err != nil {
+			fmt.Fprintf(os.Stderr, "maps: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(name string, opt experiments.Options, withPlot bool) error {
+	start := time.Now()
+	var out, chart string
+	switch name {
+	case "table1":
+		out = experiments.Table1()
+	case "table2":
+		out = experiments.Table2().Render()
+	case "fig1":
+		r, err := experiments.Fig1(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "fig2":
+		r, err := experiments.Fig2(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "fig3":
+		r, err := experiments.Fig3(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "fig4":
+		r, err := experiments.Fig4(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "fig5":
+		r, err := experiments.Fig5(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "fig6":
+		r, err := experiments.Fig6(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "fig7":
+		r, err := experiments.Fig7(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+		if withPlot {
+			chart = r.RenderChart()
+		}
+	case "ablate-partial":
+		r, err := experiments.AblatePartial(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "content-matrix":
+		r, err := experiments.ContentMatrix(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "org-compare":
+		r, err := experiments.OrgCompare(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "csopt":
+		r, err := experiments.CSOPT(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "spec-window":
+		r, err := experiments.SpecWindow(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	case "tree-stretch":
+		r, err := experiments.TreeStretch(opt)
+		if err != nil {
+			return err
+		}
+		out = r.Render()
+	default:
+		return fmt.Errorf("unknown experiment (want table1|table2|fig1..fig7|ablate-partial|content-matrix|org-compare|csopt|spec-window|tree-stretch|all)")
+	}
+	fmt.Println(out)
+	if chart != "" {
+		fmt.Println(chart)
+	}
+	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `maps — regenerate the MAPS (ISPASS 2018) tables and figures
+
+usage: maps [flags] <experiment> [experiment ...]
+       maps all
+
+experiments:
+  table1  simulation configuration
+  table2  metadata organization / data protected
+  fig1    metadata MPKI vs cache contents and size
+  fig2    normalized ED^2 across LLC/metadata-cache budgets
+  fig3    reuse-distance CDFs by metadata type
+  fig4    bimodal reuse-distance classes
+  fig5    reuse CDFs by request type (fft, leslie3d)
+  fig6    eviction policies: plru, eva, min, itermin (+lru, srrip)
+  fig7    partitioning: none, best-static, avg-static, dynamic
+
+extensions beyond the paper:
+  ablate-partial  partial-write mechanism on/off (paper SIV-E)
+  content-matrix  all seven content-policy combinations
+  org-compare     PoisonIvy split counters vs SGX monolithic
+  csopt           CSOPT solve + live replay + state explosion (paper SV-B)
+  spec-window     finite speculation windows vs metadata cache size
+  tree-stretch    tree reuse distances with vs without a metadata cache
+
+flags:
+`)
+	flag.PrintDefaults()
+}

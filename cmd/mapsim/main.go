@@ -1,0 +1,204 @@
+// Command mapsim runs a single secure-memory simulation and prints a
+// detailed report: timing, per-kind metadata cache behaviour, memory
+// traffic, and energy.
+//
+// Usage:
+//
+//	mapsim -bench canneal -meta 64KB -policy plru -content all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/eva"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/cache/typepred"
+	"github.com/maps-sim/mapsim/internal/cliutil"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "libquantum", "benchmark name (see -list)")
+	suite := flag.Bool("suite", false, "run every benchmark and print a summary with geomeans")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	instructions := flag.Uint64("instructions", 2_000_000, "simulated instructions")
+	secure := flag.Bool("secure", true, "enable secure memory")
+	spec := flag.Bool("speculation", true, "hide verification latency")
+	org := flag.String("org", "pi", "counter organization: pi or sgx")
+	metaSize := flag.String("meta", "64KB", "metadata cache size (e.g. 64KB, 1MB, or 0 for none)")
+	ways := flag.Int("ways", 8, "metadata cache associativity")
+	policyName := flag.String("policy", "plru", "replacement: plru, lru, fifo, random, srrip, brrip, eva, eva-pertype, typepred")
+	content := flag.String("content", "all", "cache contents: counters, counters+hashes, all")
+	partial := flag.Bool("partial-writes", false, "enable partial writes for hash/tree blocks")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := sim.Config{
+		Benchmark:    *bench,
+		Instructions: *instructions,
+		Seed:         *seed,
+		Secure:       *secure,
+		Speculation:  *spec,
+	}
+	if strings.EqualFold(*org, "sgx") {
+		cfg.Org = memlayout.SGX
+	}
+	size, err := cliutil.ParseSize(*metaSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *suite {
+		// Suite mode shares one config across all benchmarks; per-run
+		// policy instances are stateful, so RunSuite requires the
+		// defaults (pseudo-LRU, no partition).
+		if *secure && size > 0 {
+			c, err := parseContent(*content)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Meta = &metacache.Config{Size: size, Ways: *ways, Content: c, PartialWrites: *partial}
+		}
+		res, err := sim.RunSuite(cfg, nil, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+		return
+	}
+
+	if *secure && size > 0 {
+		p, err := parsePolicy(*policyName)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := parseContent(*content)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Meta = &metacache.Config{
+			Size: size, Ways: *ways, Policy: p, Content: c, PartialWrites: *partial,
+		}
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	report(res, cfg)
+}
+
+func parsePolicy(name string) (cache.Policy, error) {
+	switch strings.ToLower(name) {
+	case "plru":
+		return policy.NewPLRU(), nil
+	case "lru":
+		return policy.NewLRU(), nil
+	case "fifo":
+		return policy.NewFIFO(), nil
+	case "random":
+		return policy.NewRandom(1), nil
+	case "srrip":
+		return policy.NewSRRIP(), nil
+	case "brrip":
+		return policy.NewBRRIP(), nil
+	case "eva":
+		return eva.New(eva.Config{}), nil
+	case "typepred":
+		return typepred.New(), nil
+	case "eva-pertype":
+		return eva.NewPerType(eva.Config{}), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseContent(name string) (metacache.ContentPolicy, error) {
+	switch strings.ToLower(name) {
+	case "counters":
+		return metacache.CountersOnly, nil
+	case "counters+hashes":
+		return metacache.CountersHashes, nil
+	case "all":
+		return metacache.AllTypes, nil
+	default:
+		return 0, fmt.Errorf("unknown content policy %q", name)
+	}
+}
+
+func report(r *sim.Result, cfg sim.Config) {
+	fmt.Printf("benchmark: %s  (%d instructions)\n\n", r.Benchmark, r.Instructions)
+
+	var t stats.Table
+	t.AddRow("metric", "value")
+	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
+	t.AddRow("IPC", fmt.Sprintf("%.3f", r.IPC))
+	t.AddRow("LLC MPKI", fmt.Sprintf("%.2f", r.LLCMPKI))
+	t.AddRow("metadata MPKI", fmt.Sprintf("%.2f", r.MetaMPKI))
+	t.AddRow("metadata hit rate", fmt.Sprintf("%.3f", r.MetaHitRate))
+	t.AddRow("page re-encryptions", fmt.Sprintf("%d", r.PageReencryptions))
+	t.AddRow("DRAM accesses", fmt.Sprintf("%d (row hit %.2f)", r.DRAM.Accesses(), r.DRAM.RowHitRate()))
+	t.AddRow("energy (mJ)", fmt.Sprintf("%.3f", r.EnergyPJ/1e9))
+	t.AddRow("ED^2", fmt.Sprintf("%.3e", r.ED2))
+	fmt.Println(t.String())
+
+	if r.Meta != nil {
+		fmt.Println("metadata cache by kind:")
+		var mt stats.Table
+		mt.AddRow("kind", "accesses", "hits", "misses", "MPKI")
+		for _, k := range memlayout.MetaKinds {
+			s := r.Meta[k]
+			mt.AddRow(k.String(),
+				fmt.Sprintf("%d", s.Accesses), fmt.Sprintf("%d", s.Hits),
+				fmt.Sprintf("%d", s.Misses), fmt.Sprintf("%.2f", s.MPKI))
+		}
+		fmt.Println(mt.String())
+	}
+
+	if len(r.TreeLevels) > 0 {
+		fmt.Println("tree levels (leaf first):")
+		var lt stats.Table
+		lt.AddRow("level", "accesses", "hits", "hit rate")
+		for lev, s := range r.TreeLevels {
+			rate := 0.0
+			if s.Accesses > 0 {
+				rate = float64(s.Hits) / float64(s.Accesses)
+			}
+			lt.AddRow(fmt.Sprintf("%d", lev),
+				fmt.Sprintf("%d", s.Accesses), fmt.Sprintf("%d", s.Hits),
+				fmt.Sprintf("%.3f", rate))
+		}
+		fmt.Println(lt.String())
+	}
+
+	if cfg.Secure {
+		fmt.Println("memory traffic:")
+		var tt stats.Table
+		tt.AddRow("stream", "reads", "writes")
+		tt.AddRow("data", fmt.Sprintf("%d", r.Mem.DataReads), fmt.Sprintf("%d", r.Mem.DataWrites))
+		tt.AddRow("counters", fmt.Sprintf("%d", r.Mem.CounterReads), fmt.Sprintf("%d", r.Mem.CounterWrites))
+		tt.AddRow("hashes", fmt.Sprintf("%d", r.Mem.HashReads), fmt.Sprintf("%d", r.Mem.HashWrites))
+		tt.AddRow("tree", fmt.Sprintf("%d", r.Mem.TreeReads), fmt.Sprintf("%d", r.Mem.TreeWrites))
+		fmt.Println(tt.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mapsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command mapstrace records metadata-access traces to disk and
+// inspects them. Traces are the raw material of the offline policies
+// (MIN, iterMIN, CSOPT) and the reuse analyses; persisting them lets
+// expensive characterization runs be analyzed repeatedly.
+//
+// Usage:
+//
+//	mapstrace record -bench canneal -out canneal.trace [-instructions N] [-meta 64KB]
+//	mapstrace info canneal.trace
+//	mapstrace analyze canneal.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/maps-sim/mapsim/internal/cliutil"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/reuse"
+	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = withTrace(os.Args[2:], info)
+	case "analyze":
+		err = withTrace(os.Args[2:], analyze)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapstrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mapstrace — record and inspect metadata access traces
+
+usage:
+  mapstrace record -bench <name> -out <file> [-instructions N] [-meta SIZE]
+  mapstrace info <file>       counts, read/write mix, miss costs
+  mapstrace analyze <file>    reuse-distance CDFs per metadata type`)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "libquantum", "benchmark name")
+	out := fs.String("out", "", "output file (required)")
+	instructions := fs.Uint64("instructions", 2_000_000, "simulated instructions")
+	metaSize := fs.String("meta", "0", "metadata cache size during recording (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record: -out is required")
+	}
+	size, err := cliutil.ParseSize(*metaSize)
+	if err != nil {
+		return err
+	}
+
+	var tr trace.Trace
+	cfg := sim.Config{
+		Benchmark:    *bench,
+		Instructions: *instructions,
+		Secure:       true,
+		Speculation:  true,
+		Tap:          tr.Append,
+	}
+	if size > 0 {
+		cfg.Meta = &metacache.Config{Size: size, Ways: 8}
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d metadata accesses (%d bytes) from %s to %s\n",
+		tr.Len(), n, *bench, *out)
+	return nil
+}
+
+func withTrace(args []string, fn func(*trace.Trace) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr trace.Trace
+	if _, err := tr.ReadFrom(f); err != nil {
+		return fmt.Errorf("reading %s: %w", args[0], err)
+	}
+	return fn(&tr)
+}
+
+func info(tr *trace.Trace) error {
+	type agg struct {
+		reads, writes uint64
+		costSum       uint64
+		costMax       uint8
+	}
+	perKind := map[memlayout.Kind]*agg{}
+	for _, a := range tr.Accesses {
+		k := memlayout.Kind(a.Class)
+		g := perKind[k]
+		if g == nil {
+			g = &agg{}
+			perKind[k] = g
+		}
+		if a.Write {
+			g.writes++
+		} else {
+			g.reads++
+		}
+		g.costSum += uint64(a.Cost)
+		if a.Cost > g.costMax {
+			g.costMax = a.Cost
+		}
+	}
+	fmt.Printf("trace: %d metadata accesses\n\n", tr.Len())
+	var t stats.Table
+	t.AddRow("kind", "reads", "writes", "write%", "avg cost", "max cost")
+	for _, k := range memlayout.MetaKinds {
+		g := perKind[k]
+		if g == nil {
+			continue
+		}
+		total := g.reads + g.writes
+		t.AddRow(k.String(),
+			fmt.Sprintf("%d", g.reads), fmt.Sprintf("%d", g.writes),
+			fmt.Sprintf("%.1f%%", 100*float64(g.writes)/float64(total)),
+			fmt.Sprintf("%.2f", float64(g.costSum)/float64(total)),
+			fmt.Sprintf("%d", g.costMax))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func analyze(tr *trace.Trace) error {
+	an := reuse.NewAnalyzer(tr.Len())
+	for _, a := range tr.Accesses {
+		an.Record(a.Addr, memlayout.Kind(a.Class), a.Write)
+	}
+	thresholds := []uint64{512, 4 << 10, 32 << 10, 288 << 10, 1 << 20, 16 << 20}
+	var t stats.Table
+	header := []string{"kind", "accesses", "cold"}
+	for _, th := range thresholds {
+		switch {
+		case th >= 1<<20:
+			header = append(header, fmt.Sprintf("<=%dMB", th>>20))
+		case th >= 1<<10:
+			header = append(header, fmt.Sprintf("<=%dKB", th>>10))
+		default:
+			header = append(header, fmt.Sprintf("<=%dB", th))
+		}
+	}
+	header = append(header, "bimodality")
+	t.AddRow(header...)
+	for _, k := range memlayout.MetaKinds {
+		if an.Accesses(k) == 0 {
+			continue
+		}
+		row := []string{k.String(), fmt.Sprintf("%d", an.Accesses(k)), fmt.Sprintf("%d", an.ColdAccesses(k))}
+		for _, v := range an.CDF(k, thresholds) {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		row = append(row, fmt.Sprintf("%.2f", an.BimodalityScore(k)))
+		t.AddRow(row...)
+	}
+	fmt.Print(t.String())
+	return nil
+}

@@ -1,0 +1,64 @@
+// Reuseprofile measures metadata reuse distances for one benchmark —
+// the analysis behind the paper's Figures 3 and 4 — by tapping every
+// metadata request the memory encryption engine makes and feeding it
+// to the stack-distance analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mapsim "github.com/maps-sim/mapsim"
+)
+
+func main() {
+	bench := flag.String("bench", "libquantum", "benchmark to profile")
+	instructions := flag.Uint64("instructions", 1_500_000, "instructions to simulate")
+	flag.Parse()
+
+	an := mapsim.NewReuseAnalyzer(int(*instructions / 2))
+	_, err := mapsim.Run(mapsim.Config{
+		Benchmark:    *bench,
+		Instructions: *instructions,
+		Secure:       true,
+		Speculation:  true,
+		// No metadata cache: reuse distances reflect raw demand, as
+		// in the paper's Figure 3 methodology.
+		Tap: func(a mapsim.TraceAccess) {
+			an.Record(a.Addr, mapsim.Kind(a.Class), a.Write)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	thresholds := []uint64{4 << 10, 32 << 10, 288 << 10, 1 << 20, 16 << 20}
+	kinds := []mapsim.Kind{mapsim.KindCounter, mapsim.KindHash, mapsim.KindTree}
+
+	fmt.Printf("metadata reuse-distance CDF for %s (2MB LLC, no metadata cache)\n\n", *bench)
+	fmt.Printf("%-8s %10s", "type", "accesses")
+	for _, th := range thresholds {
+		if th >= 1<<20 {
+			fmt.Printf("  <=%3dMB", th>>20)
+		} else {
+			fmt.Printf("  <=%3dKB", th>>10)
+		}
+	}
+	fmt.Println("   bimodality")
+	for _, k := range kinds {
+		cdf := an.CDF(k, thresholds)
+		fmt.Printf("%-8s %10d", k, an.Accesses(k))
+		for _, v := range cdf {
+			fmt.Printf("  %7.2f", v)
+		}
+		fmt.Printf("   %10.2f\n", an.BimodalityScore(k))
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - tree rows rise fastest: one tree block covers the most data,")
+	fmt.Println("    so a tiny cache already captures tree reuse")
+	fmt.Println("  - hash rows rise slowest: hashes are the hardest type to cache")
+	fmt.Println("  - bimodality near 1.0 = reuse is either very short or very long,")
+	fmt.Println("    the paper's argument against mid-sized metadata caches")
+}

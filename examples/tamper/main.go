@@ -1,0 +1,101 @@
+// Tamper demonstrates the functional secure-memory controller: data
+// is really encrypted with counter-derived one-time pads and really
+// verified against HMACs and the on-chip Bonsai Merkle Tree root, so
+// every class of physical attack the paper's threat model lists —
+// snooping, tampering, and replay — is either useless or detected.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	mapsim "github.com/maps-sim/mapsim"
+)
+
+func main() {
+	sm, err := mapsim.NewSecureMemory(
+		mapsim.PoisonIvy,
+		16<<20,                         // 16 MB protected
+		bytes.Repeat([]byte{0x42}, 16), // AES pad key
+		[]byte("hmac key"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secret := mapsim.Block{}
+	copy(secret[:], "attack at dawn; launch code 0000")
+	const addr = 0x2000
+
+	if err := sm.Store(addr, &secret); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stored one block of secret data at", fmt.Sprintf("%#x", addr))
+
+	// 1. Confidentiality: the bus/DRAM never see plaintext.
+	raw := sm.Memory().Snapshot(addr)
+	fmt.Printf("\n[1] snooping the memory bus\n    plaintext:  %q\n    ciphertext: %x...\n",
+		secret[:32], raw[:16])
+	if bytes.Contains(raw[:], secret[:16]) {
+		log.Fatal("plaintext leaked to memory!")
+	}
+	fmt.Println("    -> attacker sees only ciphertext")
+
+	// 2. Integrity: flipping a data bit is detected by the data HMAC.
+	sm.Memory().FlipBit(addr, 7)
+	var out mapsim.Block
+	err = sm.Load(addr, &out)
+	fmt.Printf("\n[2] flipping one data bit\n    load result: %v\n", err)
+	if err == nil {
+		log.Fatal("tampering was NOT detected")
+	}
+	sm.Memory().FlipBit(addr, 7) // undo
+
+	// 3. Counter tampering: detected by the integrity tree.
+	cAddr := sm.Layout().CounterAddr(addr)
+	sm.Memory().FlipBit(cAddr, 0)
+	err = sm.Load(addr, &out)
+	fmt.Printf("\n[3] tampering with the encryption counter\n    load result: %v\n", err)
+	if err == nil {
+		log.Fatal("counter tampering was NOT detected")
+	}
+	sm.Memory().FlipBit(cAddr, 0)
+
+	// 4. Replay: restore a complete stale snapshot (data + hash +
+	// counter). Only the on-chip root can catch this.
+	dataSnap := sm.Memory().Snapshot(addr)
+	hashSnap := sm.Memory().Snapshot(sm.Layout().HashAddr(addr))
+	ctrSnap := sm.Memory().Snapshot(cAddr)
+
+	update := mapsim.Block{}
+	copy(update[:], "attack cancelled; stand down now")
+	if err := sm.Store(addr, &update); err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep the genuine current state so it can be reinstated after
+	// the attack (a real system would fault; the simulator lets us
+	// undo the attacker's writes).
+	goodData := sm.Memory().Snapshot(addr)
+	goodHash := sm.Memory().Snapshot(sm.Layout().HashAddr(addr))
+	goodCtr := sm.Memory().Snapshot(cAddr)
+
+	sm.Memory().Restore(addr, dataSnap)
+	sm.Memory().Restore(sm.Layout().HashAddr(addr), hashSnap)
+	sm.Memory().Restore(cAddr, ctrSnap)
+	err = sm.Load(addr, &out)
+	fmt.Printf("\n[4] replaying a stale (data, hash, counter) snapshot\n    load result: %v\n", err)
+	if err == nil {
+		log.Fatal("replay was NOT detected")
+	}
+
+	// Undo the attack: clean loads still work.
+	sm.Memory().Restore(addr, goodData)
+	sm.Memory().Restore(sm.Layout().HashAddr(addr), goodHash)
+	sm.Memory().Restore(cAddr, goodCtr)
+	if err := sm.Load(addr, &out); err != nil || out != update {
+		log.Fatalf("clean load failed: %v", err)
+	}
+	fmt.Println("\nall four attacks defeated; clean accesses unaffected")
+}

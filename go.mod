@@ -1,0 +1,3 @@
+module github.com/maps-sim/mapsim
+
+go 1.23

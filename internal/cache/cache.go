@@ -1,0 +1,346 @@
+// Package cache provides the set-associative cache simulator used for
+// both the processor cache hierarchy and the metadata cache. It
+// supports pluggable replacement policies, write-back dirty tracking,
+// per-8B-slot valid bits (for the partial-write optimization studied
+// in MAPS §IV-E), victim-candidate masks (for way partitioning), and
+// caller-defined block classes (metadata types).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the line size in bytes; 64 B throughout the paper.
+const BlockSize = 64
+
+// SlotsPerLine is the number of independently-valid 8 B slots per
+// line, used by partial writes.
+const SlotsPerLine = 8
+
+// FullMask marks every slot of a line valid.
+const FullMask uint8 = 0xFF
+
+// MaxWays bounds associativity so victim-candidate masks fit in a
+// uint64.
+const MaxWays = 64
+
+// Line is one cache frame.
+type Line struct {
+	// Addr is the block-aligned address held by the frame.
+	Addr uint64
+	// Class is a caller-defined block classification (the metadata
+	// cache stores the metadata kind and tree level here).
+	Class uint8
+	// Valid reports whether the frame holds a block.
+	Valid bool
+	// Dirty reports whether the block must be written back.
+	Dirty bool
+	// ValidMask tracks which 8 B slots hold real data. FullMask for
+	// ordinary lines; sparse for partial-write placeholders.
+	ValidMask uint8
+}
+
+// Policy is a replacement policy. Implementations keep per-set state
+// sized by Reset and choose victims among an allowed-way mask so the
+// same policy composes with way partitioning.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reset (re)initializes state for a cache geometry.
+	Reset(sets, ways int)
+	// OnAccess observes every access before lookup, hit or miss.
+	// Offline policies (MIN) use it to advance future knowledge.
+	OnAccess(addr uint64, write bool)
+	// OnHit observes a hit in set/way.
+	OnHit(set, way int, line *Line, write bool)
+	// OnInsert observes a fill into set/way.
+	OnInsert(set, way int, line *Line)
+	// OnEvict observes an eviction from set/way.
+	OnEvict(set, way int, line *Line)
+	// Victim picks the way to evict. Every set bit of allowed is a
+	// candidate way holding a valid line; allowed is never zero.
+	Victim(set int, lines []Line, allowed uint64) int
+}
+
+// Options modifies a single Access.
+type Options struct {
+	// Class is recorded on the line at insertion.
+	Class uint8
+	// Slot, when >= 0, addresses one 8 B slot of the line for
+	// ValidMask bookkeeping. Use -1 for whole-block accesses.
+	Slot int
+	// Partial inserts a write-miss placeholder whose ValidMask covers
+	// only Slot, instead of fetching the whole block.
+	Partial bool
+	// NoAlloc bypasses the cache on a miss (no insertion).
+	NoAlloc bool
+	// Allowed restricts victim selection (and invalid-frame choice)
+	// to the set bits; zero means every way.
+	Allowed uint64
+}
+
+// WholeBlock is the Options zero-value helper for plain accesses.
+var WholeBlock = Options{Slot: -1}
+
+// Result reports what one Access did.
+type Result struct {
+	// Hit reports a tag match on a valid line.
+	Hit bool
+	// SlotValid reports whether the requested slot held data at hit
+	// time. Always true for whole-block hits. A hit with
+	// SlotValid=false still costs a memory access.
+	SlotValid bool
+	// Inserted reports that the block was filled on a miss.
+	Inserted bool
+	// Evicted is the displaced line; Evicted.Valid reports whether an
+	// eviction happened.
+	Evicted Line
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	PartialMiss uint64 // hits whose requested slot was invalid
+	Inserts     uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+}
+
+// MissRate returns misses/accesses, 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache model.
+// It tracks tags and per-line state only; data movement is the
+// caller's concern.
+type Cache struct {
+	sets   int
+	ways   int
+	shift  uint
+	policy Policy
+	lines  []Line
+	stats  Stats
+}
+
+// New creates a cache of size bytes with the given associativity.
+// size must yield a power-of-two number of sets of 64 B lines.
+func New(size, ways int, policy Policy) (*Cache, error) {
+	if ways <= 0 || ways > MaxWays {
+		return nil, fmt.Errorf("cache: ways %d out of range [1,%d]", ways, MaxWays)
+	}
+	if size <= 0 || size%(BlockSize*ways) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d-way sets of %d B lines", size, ways, BlockSize)
+	}
+	sets := size / (BlockSize * ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	c := &Cache{sets: sets, ways: ways, shift: uint(bits.TrailingZeros(uint(BlockSize))), policy: policy, lines: make([]Line, sets*ways)}
+	policy.Reset(sets, ways)
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(size, ways int, policy Policy) *Cache {
+	c, err := New(size, ways, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways reports the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes reports the capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * BlockSize }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, e.g. after warmup.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetOf returns the set index for addr.
+func (c *Cache) SetOf(addr uint64) int {
+	return int((addr >> c.shift) % uint64(c.sets))
+}
+
+// setLines returns the ways of one set.
+func (c *Cache) setLines(set int) []Line {
+	return c.lines[set*c.ways : (set+1)*c.ways]
+}
+
+// Probe reports whether addr is present, without touching policy
+// state or statistics. It returns the line for inspection (nil on
+// absence).
+func (c *Cache) Probe(addr uint64) *Line {
+	addr = align(addr)
+	ls := c.setLines(c.SetOf(addr))
+	for i := range ls {
+		if ls[i].Valid && ls[i].Addr == addr {
+			return &ls[i]
+		}
+	}
+	return nil
+}
+
+// Access performs one cache access. addr is block-aligned by the
+// cache. On a miss with allocation, the returned Result.Evicted holds
+// any displaced line.
+func (c *Cache) Access(addr uint64, write bool, opt Options) Result {
+	addr = align(addr)
+	if opt.Slot >= SlotsPerLine {
+		panic(fmt.Sprintf("cache: slot %d out of range", opt.Slot))
+	}
+	c.stats.Accesses++
+	c.policy.OnAccess(addr, write)
+
+	set := c.SetOf(addr)
+	ls := c.setLines(set)
+	for w := range ls {
+		if ls[w].Valid && ls[w].Addr == addr {
+			return c.hit(set, w, write, opt)
+		}
+	}
+	return c.miss(set, addr, write, opt)
+}
+
+func (c *Cache) hit(set, way int, write bool, opt Options) Result {
+	line := &c.setLines(set)[way]
+	c.stats.Hits++
+	res := Result{Hit: true, SlotValid: true}
+	if opt.Slot >= 0 && line.ValidMask&(1<<uint(opt.Slot)) == 0 {
+		if !write {
+			// A read of an unfilled slot must fetch it from memory;
+			// a write supplies the data itself (the partial-write
+			// benefit), so only reads count as partial misses.
+			res.SlotValid = false
+			c.stats.PartialMiss++
+		}
+		line.ValidMask |= 1 << uint(opt.Slot)
+	}
+	if write {
+		line.Dirty = true
+		if opt.Slot >= 0 {
+			line.ValidMask |= 1 << uint(opt.Slot)
+		}
+	}
+	c.policy.OnHit(set, way, line, write)
+	return res
+}
+
+func (c *Cache) miss(set int, addr uint64, write bool, opt Options) Result {
+	c.stats.Misses++
+	if opt.NoAlloc {
+		return Result{}
+	}
+	allowed := opt.Allowed
+	if allowed == 0 {
+		allowed = ^uint64(0)
+	}
+	if c.ways < 64 {
+		allowed &= (1 << uint(c.ways)) - 1
+	}
+	if allowed == 0 {
+		panic("cache: empty allowed-way mask")
+	}
+
+	ls := c.setLines(set)
+	way := -1
+	validAllowed := uint64(0)
+	for w := range ls {
+		if allowed&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !ls[w].Valid {
+			way = w
+			break
+		}
+		validAllowed |= 1 << uint(w)
+	}
+	res := Result{Inserted: true}
+	if way < 0 {
+		way = c.policy.Victim(set, ls, validAllowed)
+		if way < 0 || way >= c.ways || validAllowed&(1<<uint(way)) == 0 {
+			panic(fmt.Sprintf("cache: policy %s chose disallowed victim way %d (mask %#x)", c.policy.Name(), way, validAllowed))
+		}
+		victim := ls[way]
+		c.policy.OnEvict(set, way, &ls[way])
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.DirtyEvicts++
+		}
+		res.Evicted = victim
+	}
+
+	mask := FullMask
+	if opt.Partial && write && opt.Slot >= 0 {
+		mask = 1 << uint(opt.Slot)
+	}
+	ls[way] = Line{Addr: addr, Class: opt.Class, Valid: true, Dirty: write, ValidMask: mask}
+	c.stats.Inserts++
+	c.policy.OnInsert(set, way, &ls[way])
+	return res
+}
+
+// Invalidate removes addr if present, returning the dropped line.
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	addr = align(addr)
+	set := c.SetOf(addr)
+	ls := c.setLines(set)
+	for w := range ls {
+		if ls[w].Valid && ls[w].Addr == addr {
+			line := ls[w]
+			c.policy.OnEvict(set, w, &ls[w])
+			ls[w] = Line{}
+			return line, true
+		}
+	}
+	return Line{}, false
+}
+
+// Flush invalidates every line, returning the dirty ones in set/way
+// order (for end-of-simulation writeback accounting).
+func (c *Cache) Flush() []Line {
+	var dirty []Line
+	for set := 0; set < c.sets; set++ {
+		ls := c.setLines(set)
+		for w := range ls {
+			if ls[w].Valid {
+				if ls[w].Dirty {
+					dirty = append(dirty, ls[w])
+				}
+				c.policy.OnEvict(set, w, &ls[w])
+				ls[w] = Line{}
+			}
+		}
+	}
+	return dirty
+}
+
+// Occupancy counts valid lines, optionally filtered by class.
+func (c *Cache) Occupancy(class int) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid && (class < 0 || int(c.lines[i].Class) == class) {
+			n++
+		}
+	}
+	return n
+}
+
+func align(addr uint64) uint64 { return addr &^ (BlockSize - 1) }

@@ -1,0 +1,280 @@
+package cache_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+)
+
+func newLRU(t testing.TB, size, ways int) *cache.Cache {
+	t.Helper()
+	return cache.MustNew(size, ways, policy.NewLRU())
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ size, ways int }{
+		{0, 8}, {4096, 0}, {4096, 65}, {100, 1},
+		{3 * 64 * 8, 8}, // 3 sets: not a power of two
+	} {
+		if _, err := cache.New(tc.size, tc.ways, policy.NewLRU()); err == nil {
+			t.Errorf("New(%d,%d) accepted", tc.size, tc.ways)
+		}
+	}
+	c := newLRU(t, 64*1024, 8)
+	if c.Sets() != 128 || c.Ways() != 8 || c.SizeBytes() != 64*1024 {
+		t.Errorf("geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cache.MustNew(1, 1, policy.NewLRU())
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := newLRU(t, 4096, 4) // 16 sets
+	r := c.Access(0, false, cache.WholeBlock)
+	if r.Hit || !r.Inserted {
+		t.Fatalf("first access: %+v", r)
+	}
+	r = c.Access(63, false, cache.WholeBlock) // same block
+	if !r.Hit {
+		t.Fatal("same-block access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+	if (cache.Stats{}).MissRate() != 0 {
+		t.Error("empty miss rate should be 0")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Single-set cache, 4 ways.
+	c := newLRU(t, 4*64, 4)
+	stride := uint64(64) // everything maps to set 0
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*stride, false, cache.WholeBlock)
+	}
+	// Touch block 0 so block 1 is LRU.
+	c.Access(0, false, cache.WholeBlock)
+	r := c.Access(4*stride, false, cache.WholeBlock)
+	if !r.Evicted.Valid || r.Evicted.Addr != 1*stride {
+		t.Fatalf("evicted %+v, want addr %#x", r.Evicted, stride)
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	c.Access(0, true, cache.WholeBlock)
+	c.Access(64, false, cache.WholeBlock)
+	r := c.Access(128, false, cache.WholeBlock)
+	if !r.Evicted.Valid || !r.Evicted.Dirty || r.Evicted.Addr != 0 {
+		t.Fatalf("expected dirty eviction of block 0, got %+v", r.Evicted)
+	}
+	if c.Stats().DirtyEvicts != 1 {
+		t.Errorf("dirty evictions = %d", c.Stats().DirtyEvicts)
+	}
+}
+
+func TestNoAlloc(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	r := c.Access(0, false, cache.Options{Slot: -1, NoAlloc: true})
+	if r.Hit || r.Inserted {
+		t.Fatalf("NoAlloc inserted: %+v", r)
+	}
+	if c.Probe(0) != nil {
+		t.Error("block present after NoAlloc miss")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	c.Access(0, false, cache.WholeBlock)
+	before := c.Stats()
+	if c.Probe(0) == nil || c.Probe(64) != nil {
+		t.Error("probe results wrong")
+	}
+	if c.Stats() != before {
+		t.Error("probe changed stats")
+	}
+}
+
+func TestClassRecorded(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	c.Access(0, false, cache.Options{Slot: -1, Class: 3})
+	if l := c.Probe(0); l == nil || l.Class != 3 {
+		t.Fatalf("class not recorded: %+v", l)
+	}
+	if c.Occupancy(3) != 1 || c.Occupancy(2) != 0 || c.Occupancy(-1) != 1 {
+		t.Error("occupancy by class wrong")
+	}
+}
+
+func TestPartialWriteInsert(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	// Partial write-miss: placeholder with only slot 2 valid.
+	r := c.Access(0, true, cache.Options{Slot: 2, Partial: true})
+	if r.Hit || !r.Inserted {
+		t.Fatalf("partial insert: %+v", r)
+	}
+	l := c.Probe(0)
+	if l.ValidMask != 1<<2 || !l.Dirty {
+		t.Fatalf("placeholder line: %+v", l)
+	}
+	// Write to another slot fills it.
+	r = c.Access(0, true, cache.Options{Slot: 5})
+	if !r.Hit || !r.SlotValid == false && false {
+		t.Fatalf("slot write: %+v", r)
+	}
+	if l := c.Probe(0); l.ValidMask != (1<<2 | 1<<5) {
+		t.Fatalf("mask = %#x", l.ValidMask)
+	}
+	// Read of an invalid slot is a partial miss and then fills.
+	r = c.Access(0, false, cache.Options{Slot: 0})
+	if !r.Hit || r.SlotValid {
+		t.Fatalf("expected partial miss: %+v", r)
+	}
+	if c.Stats().PartialMiss != 1 {
+		t.Errorf("partial misses = %d", c.Stats().PartialMiss)
+	}
+	r = c.Access(0, false, cache.Options{Slot: 0})
+	if !r.Hit || !r.SlotValid {
+		t.Fatalf("slot should now be valid: %+v", r)
+	}
+	// Eviction carries the mask out.
+	c.Access(64, false, cache.WholeBlock)
+	r = c.Access(128, false, cache.WholeBlock)
+	if !r.Evicted.Valid || r.Evicted.ValidMask == cache.FullMask {
+		t.Fatalf("evicted mask: %+v", r.Evicted)
+	}
+}
+
+func TestSlotOutOfRangePanics(t *testing.T) {
+	c := newLRU(t, 2*64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Access(0, false, cache.Options{Slot: 8})
+}
+
+func TestAllowedMaskPartition(t *testing.T) {
+	// 4-way single set; class A restricted to ways {0,1}, class B to
+	// ways {2,3}.
+	c := newLRU(t, 4*64, 4)
+	a := cache.Options{Slot: -1, Class: 0, Allowed: 0b0011}
+	b := cache.Options{Slot: -1, Class: 1, Allowed: 0b1100}
+	for i := uint64(0); i < 3; i++ {
+		c.Access(i*64, false, a)
+	}
+	for i := uint64(10); i < 13; i++ {
+		c.Access(i*64, false, b)
+	}
+	// Partition respected: exactly 2 of each class resident.
+	if got := c.Occupancy(0); got != 2 {
+		t.Errorf("class A occupancy = %d, want 2", got)
+	}
+	if got := c.Occupancy(1); got != 2 {
+		t.Errorf("class B occupancy = %d, want 2", got)
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := newLRU(t, 4*64, 4)
+	c.Access(0, true, cache.WholeBlock)
+	c.Access(64, false, cache.WholeBlock)
+	if _, ok := c.Invalidate(64); !ok {
+		t.Fatal("invalidate existing failed")
+	}
+	if _, ok := c.Invalidate(64); ok {
+		t.Fatal("invalidate missing succeeded")
+	}
+	dirty := c.Flush()
+	if len(dirty) != 1 || dirty[0].Addr != 0 {
+		t.Fatalf("flush dirty = %+v", dirty)
+	}
+	if c.Occupancy(-1) != 0 {
+		t.Error("cache not empty after flush")
+	}
+}
+
+// Oracle model: plain map-based fully-indexed LRU simulation, checked
+// against the cache for single-set configurations.
+func TestPropertyLRUMatchesOracle(t *testing.T) {
+	const ways = 4
+	f := func(seq []uint8) bool {
+		c := newLRU(t, ways*64, ways)
+		var oracle []uint64 // recency stack, most recent last
+		for _, s := range seq {
+			addr := uint64(s%16) * 64
+			hit := false
+			for i, a := range oracle {
+				if a == addr {
+					oracle = append(append(oracle[:i], oracle[i+1:]...), addr)
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				if len(oracle) == ways {
+					oracle = oracle[1:]
+				}
+				oracle = append(oracle, addr)
+			}
+			r := c.Access(addr, false, cache.WholeBlock)
+			if r.Hit != hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: occupancy never exceeds capacity and hits+misses ==
+// accesses under random traffic for every policy.
+func TestPropertyPolicyInvariants(t *testing.T) {
+	policies := map[string]func() cache.Policy{
+		"lru":    func() cache.Policy { return policy.NewLRU() },
+		"plru":   func() cache.Policy { return policy.NewPLRU() },
+		"fifo":   func() cache.Policy { return policy.NewFIFO() },
+		"random": func() cache.Policy { return policy.NewRandom(1) },
+		"srrip":  func() cache.Policy { return policy.NewSRRIP() },
+		"brrip":  func() cache.Policy { return policy.NewBRRIP() },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			c := cache.MustNew(8*1024, 8, mk())
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 20000; i++ {
+				addr := uint64(rng.Intn(1024)) * 64
+				c.Access(addr, rng.Intn(4) == 0, cache.WholeBlock)
+			}
+			s := c.Stats()
+			if s.Hits+s.Misses != s.Accesses {
+				t.Errorf("hits+misses != accesses: %+v", s)
+			}
+			if occ := c.Occupancy(-1); occ > c.Sets()*c.Ways() {
+				t.Errorf("occupancy %d exceeds capacity", occ)
+			}
+			if s.Hits == 0 || s.Misses == 0 {
+				t.Errorf("degenerate traffic: %+v", s)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+// Package eva implements the EVA (economic value added) replacement
+// policy of Beckmann & Sanchez (HPCA 2017), in the single-histogram
+// form analyzed by MAPS §V-A. Each frame's age — set-local accesses
+// since insertion, coarsened into buckets — indexes a periodically
+// recomputed table of
+//
+//	EVA(age) = P(age) - C * L(age)
+//
+// where P is the forward hit probability at that age, L the expected
+// remaining lifetime, and C the per-frame opportunity cost derived
+// from the overall hit rate. The victim is the frame with the lowest
+// EVA.
+//
+// MAPS's finding — that bimodal metadata reuse defeats a single age
+// histogram — falls out of this implementation naturally: short and
+// long reuse populate the same histogram and the ranking blurs.
+package eva
+
+import (
+	"github.com/maps-sim/mapsim/internal/cache"
+)
+
+// Config tunes the policy. The zero value selects usable defaults.
+type Config struct {
+	// AgeBuckets is the number of coarsened age classes.
+	AgeBuckets int
+	// Granularity is the number of set accesses per age bucket.
+	Granularity int
+	// UpdatePeriod is the number of events (hits+evictions) between
+	// rank-table recomputations.
+	UpdatePeriod int
+}
+
+func (c *Config) fill() {
+	if c.AgeBuckets <= 0 {
+		c.AgeBuckets = 128
+	}
+	if c.Granularity <= 0 {
+		c.Granularity = 8
+	}
+	if c.UpdatePeriod <= 0 {
+		c.UpdatePeriod = 16384
+	}
+}
+
+// Policy is the EVA replacement policy. Create with New.
+type Policy struct {
+	cfg  Config
+	ways int
+
+	setClock []uint64 // per-set access counter
+	born     []uint64 // per-frame insertion time (set-local clock)
+
+	hits   []float64 // events by age bucket
+	evicts []float64
+	rank   []float64 // EVA by age bucket
+	events int
+}
+
+// New creates an EVA policy.
+func New(cfg Config) *Policy {
+	cfg.fill()
+	return &Policy{cfg: cfg}
+}
+
+// Name implements cache.Policy.
+func (*Policy) Name() string { return "eva" }
+
+// Reset implements cache.Policy.
+func (p *Policy) Reset(sets, ways int) {
+	p.ways = ways
+	p.setClock = make([]uint64, sets)
+	p.born = make([]uint64, sets*ways)
+	p.hits = make([]float64, p.cfg.AgeBuckets)
+	p.evicts = make([]float64, p.cfg.AgeBuckets)
+	p.rank = make([]float64, p.cfg.AgeBuckets)
+	p.events = 0
+	// Without data, prefer evicting older frames, like LRU.
+	for a := range p.rank {
+		p.rank[a] = -float64(a)
+	}
+}
+
+// OnAccess implements cache.Policy.
+func (p *Policy) OnAccess(addr uint64, write bool) {}
+
+func (p *Policy) age(set, way int) int {
+	a := int((p.setClock[set] - p.born[set*p.ways+way]) / uint64(p.cfg.Granularity))
+	if a >= p.cfg.AgeBuckets {
+		a = p.cfg.AgeBuckets - 1
+	}
+	return a
+}
+
+// OnHit implements cache.Policy: record the hit age and start a new
+// generation for the frame.
+func (p *Policy) OnHit(set, way int, line *cache.Line, write bool) {
+	p.setClock[set]++
+	p.hits[p.age(set, way)]++
+	p.born[set*p.ways+way] = p.setClock[set]
+	p.event()
+}
+
+// OnInsert implements cache.Policy.
+func (p *Policy) OnInsert(set, way int, line *cache.Line) {
+	p.setClock[set]++
+	p.born[set*p.ways+way] = p.setClock[set]
+}
+
+// OnEvict implements cache.Policy.
+func (p *Policy) OnEvict(set, way int, line *cache.Line) {
+	p.evicts[p.age(set, way)]++
+	p.event()
+}
+
+func (p *Policy) event() {
+	p.events++
+	if p.events >= p.cfg.UpdatePeriod {
+		p.recompute()
+		p.events = 0
+	}
+}
+
+// Victim implements cache.Policy: the allowed frame with the lowest
+// EVA; ties break toward the older frame.
+func (p *Policy) Victim(set int, lines []cache.Line, allowed uint64) int {
+	best := -1
+	bestEVA := 0.0
+	bestAge := -1
+	for w := 0; w < p.ways; w++ {
+		if allowed&(1<<uint(w)) == 0 {
+			continue
+		}
+		a := p.age(set, w)
+		e := p.rank[a]
+		if best < 0 || e < bestEVA || (e == bestEVA && a > bestAge) {
+			best, bestEVA, bestAge = w, e, a
+		}
+	}
+	return best
+}
+
+// recompute rebuilds the EVA rank table from the age histograms and
+// then decays the histograms so the policy adapts to phase changes.
+//
+// Following Beckmann & Sanchez, a frame's value spans generations: a
+// generation ending in a hit restarts the line at age zero, accruing
+// the age-zero value again, while the per-frame opportunity cost is
+// the overall hit yield per unit of frame occupancy. With
+// per-generation hit probability pGen(a) and expected remaining
+// generation time lGen(a),
+//
+//	EVA(a) = pGen(a)·(1 + r0) - C·(lGen(a) + pGen(a)·T0)
+//
+// where r0 and T0 are the fixed points of the age-zero recurrences
+// r0 = pGen(0)(1+r0) and T0 = lGen(0) + pGen(0)·T0.
+func (p *Policy) recompute() {
+	recomputeRank(p.cfg.AgeBuckets, p.hits, p.evicts, p.rank)
+}
+
+// recomputeRank rebuilds one rank table from one pair of age
+// histograms and then decays them; shared by the single-histogram
+// policy and the per-type variant.
+func recomputeRank(n int, hits, evicts, rank []float64) {
+	// Backward cumulative sums over the age histograms.
+	cumEvents := make([]float64, n+1)
+	cumHits := make([]float64, n+1)
+	remLife := make([]float64, n+1) // Σ_{x>=a} (x-a)·events(x)
+	for a := n - 1; a >= 0; a-- {
+		ev := hits[a] + evicts[a]
+		cumEvents[a] = cumEvents[a+1] + ev
+		cumHits[a] = cumHits[a+1] + hits[a]
+		remLife[a] = remLife[a+1] + cumEvents[a+1]
+	}
+	totalFrameTime := remLife[0] // Σ x·events(x)
+	if cumEvents[0] == 0 || totalFrameTime == 0 {
+		return
+	}
+	c := cumHits[0] / totalFrameTime // hits per unit frame occupancy
+
+	p0 := cumHits[0] / cumEvents[0]
+	if p0 > 0.999 {
+		p0 = 0.999
+	}
+	l0 := remLife[0] / cumEvents[0]
+	r0 := p0 / (1 - p0)
+	t0 := l0 / (1 - p0)
+
+	for a := 0; a < n; a++ {
+		if cumEvents[a] == 0 {
+			// No observed events at or past this age: the frame is
+			// probably dead; rank it for eviction.
+			rank[a] = -1e9 - float64(a)
+			continue
+		}
+		pGen := cumHits[a] / cumEvents[a]
+		lGen := remLife[a] / cumEvents[a]
+		rank[a] = pGen*(1+r0) - c*(lGen+pGen*t0)
+	}
+	// Exponential decay keeps the histograms responsive.
+	for a := 0; a < n; a++ {
+		hits[a] /= 2
+		evicts[a] /= 2
+	}
+}
+
+var _ cache.Policy = (*Policy)(nil)

@@ -1,0 +1,152 @@
+package eva
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.AgeBuckets != 128 || p.cfg.Granularity != 8 || p.cfg.UpdatePeriod != 16384 {
+		t.Errorf("defaults not applied: %+v", p.cfg)
+	}
+}
+
+func TestRunsUnderCache(t *testing.T) {
+	c := cache.MustNew(8*1024, 8, New(Config{UpdatePeriod: 512}))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(512)) * 64
+		c.Access(addr, rng.Intn(5) == 0, cache.WholeBlock)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses || s.Hits == 0 {
+		t.Errorf("inconsistent stats: %+v", s)
+	}
+}
+
+func TestFittingWorkingSetAllHits(t *testing.T) {
+	c := cache.MustNew(16*64, 16, New(Config{UpdatePeriod: 64, Granularity: 1}))
+	for pass := 0; pass < 50; pass++ {
+		for b := uint64(0); b < 16; b++ {
+			c.Access(b*64, false, cache.WholeBlock)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 16 {
+		t.Errorf("fitting working set missed %d times, want 16 cold misses", s.Misses)
+	}
+}
+
+func TestLearnsToKeepHotLines(t *testing.T) {
+	// Mixed traffic: 8 hot blocks re-referenced constantly plus a
+	// stream of cold blocks touched once. After training, EVA should
+	// hold the hot blocks and a hot pass should hit (mostly).
+	p := New(Config{UpdatePeriod: 256, Granularity: 2, AgeBuckets: 64})
+	c := cache.MustNew(16*64, 16, p)
+	cold := uint64(1 << 20)
+	for i := 0; i < 30000; i++ {
+		c.Access(uint64(i%8)*64, false, cache.WholeBlock)
+		if i%2 == 0 {
+			c.Access(cold, false, cache.WholeBlock)
+			cold += 64
+		}
+	}
+	c.ResetStats()
+	hot := 0
+	for b := uint64(0); b < 8; b++ {
+		if c.Access(b*64, false, cache.WholeBlock).Hit {
+			hot++
+		}
+	}
+	if hot < 6 {
+		t.Errorf("only %d/8 hot blocks retained", hot)
+	}
+}
+
+func TestVictimRespectsMask(t *testing.T) {
+	p := New(Config{})
+	p.Reset(1, 4)
+	lines := make([]cache.Line, 4)
+	for w := 0; w < 4; w++ {
+		p.OnInsert(0, w, &lines[w])
+	}
+	for i := 0; i < 100; i++ {
+		if w := p.Victim(0, lines, 0b0110); w != 1 && w != 2 {
+			t.Fatalf("victim %d outside mask", w)
+		}
+		p.OnHit(0, 1, &lines[1], false)
+	}
+}
+
+func TestRecomputeHandlesEmptyHistogram(t *testing.T) {
+	p := New(Config{UpdatePeriod: 1})
+	p.Reset(1, 2)
+	// Force recompute with no recorded events: must not panic and
+	// must keep a usable rank table.
+	p.recompute()
+	lines := make([]cache.Line, 2)
+	p.OnInsert(0, 0, &lines[0])
+	p.OnInsert(0, 1, &lines[1])
+	if w := p.Victim(0, lines, 0b11); w != 0 && w != 1 {
+		t.Fatalf("victim = %d", w)
+	}
+}
+
+func TestRankPrefersRecentlyHittingAges(t *testing.T) {
+	p := New(Config{AgeBuckets: 16, Granularity: 1, UpdatePeriod: 1 << 30})
+	p.Reset(1, 2)
+	// Hand-populate: age 2 always hits, age 10 always evicts.
+	p.hits[2] = 1000
+	p.evicts[10] = 1000
+	p.recompute()
+	if p.rank[2] <= p.rank[10] {
+		t.Errorf("rank[2]=%v should exceed rank[10]=%v", p.rank[2], p.rank[10])
+	}
+}
+
+func TestPerTypeSeparatesClasses(t *testing.T) {
+	// Two classes with opposite behaviour: class 1 blocks die young,
+	// class 2 blocks are re-referenced. The per-type variant must
+	// keep learning them independently; the single-histogram policy
+	// blurs them (the paper's complaint).
+	p := NewPerType(Config{UpdatePeriod: 128, Granularity: 1, AgeBuckets: 32})
+	c := cache.MustNew(8*64, 8, p)
+	hot := cache.Options{Slot: -1, Class: 2}
+	cold := cache.Options{Slot: -1, Class: 1}
+	coldAddr := uint64(1 << 30)
+	for i := 0; i < 20000; i++ {
+		for b := uint64(0); b < 4; b++ {
+			c.Access(b*64, false, hot)
+		}
+		c.Access(coldAddr, false, cold)
+		coldAddr += 64
+	}
+	c.ResetStats()
+	for b := uint64(0); b < 4; b++ {
+		if !c.Access(b*64, false, hot).Hit {
+			t.Errorf("hot block %d not retained by per-type EVA", b)
+		}
+	}
+	if len(p.classes) != 2 {
+		t.Errorf("expected 2 class states, have %d", len(p.classes))
+	}
+	if p.Name() != "eva-pertype" {
+		t.Error("name")
+	}
+}
+
+func TestPerTypeRunsUnderRandomTraffic(t *testing.T) {
+	c := cache.MustNew(8*1024, 8, NewPerType(Config{UpdatePeriod: 512}))
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40000; i++ {
+		c.Access(uint64(rng.Intn(512))*64, rng.Intn(4) == 0,
+			cache.Options{Slot: -1, Class: uint8(rng.Intn(5))})
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses || s.Hits == 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}

@@ -1,0 +1,136 @@
+package eva
+
+import (
+	"github.com/maps-sim/mapsim/internal/cache"
+)
+
+// PerType is EVA with one age-histogram per block class instead of
+// the single histogram MAPS shows failing ("EVA uses one histogram
+// ... the bimodal characteristic of metadata reuse distances makes
+// the one histogram approach ineffective"). Separating counters,
+// hashes, and tree levels into their own histograms lets each
+// population's bimodality resolve independently — the fix the paper's
+// analysis implies.
+//
+// Classes are the cache framework's class byte (the metadata cache
+// stores kind + tree level there), folded into a small table.
+type PerType struct {
+	cfg  Config
+	ways int
+
+	setClock []uint64
+	born     []uint64
+	class    []uint8 // class of each resident frame
+
+	// Per-class histograms and rank tables, allocated lazily.
+	classes map[uint8]*classState
+	events  int
+}
+
+type classState struct {
+	hits   []float64
+	evicts []float64
+	rank   []float64
+}
+
+// NewPerType creates the per-type EVA variant.
+func NewPerType(cfg Config) *PerType {
+	cfg.fill()
+	return &PerType{cfg: cfg}
+}
+
+// Name implements cache.Policy.
+func (*PerType) Name() string { return "eva-pertype" }
+
+// Reset implements cache.Policy.
+func (p *PerType) Reset(sets, ways int) {
+	p.ways = ways
+	p.setClock = make([]uint64, sets)
+	p.born = make([]uint64, sets*ways)
+	p.class = make([]uint8, sets*ways)
+	p.classes = make(map[uint8]*classState)
+	p.events = 0
+}
+
+func (p *PerType) state(class uint8) *classState {
+	cs := p.classes[class]
+	if cs == nil {
+		cs = &classState{
+			hits:   make([]float64, p.cfg.AgeBuckets),
+			evicts: make([]float64, p.cfg.AgeBuckets),
+			rank:   make([]float64, p.cfg.AgeBuckets),
+		}
+		for a := range cs.rank {
+			cs.rank[a] = -float64(a)
+		}
+		p.classes[class] = cs
+	}
+	return cs
+}
+
+func (p *PerType) age(set, way int) int {
+	a := int((p.setClock[set] - p.born[set*p.ways+way]) / uint64(p.cfg.Granularity))
+	if a >= p.cfg.AgeBuckets {
+		a = p.cfg.AgeBuckets - 1
+	}
+	return a
+}
+
+// OnAccess implements cache.Policy.
+func (p *PerType) OnAccess(addr uint64, write bool) {}
+
+// OnHit implements cache.Policy.
+func (p *PerType) OnHit(set, way int, line *cache.Line, write bool) {
+	p.setClock[set]++
+	i := set*p.ways + way
+	p.state(p.class[i]).hits[p.age(set, way)]++
+	p.born[i] = p.setClock[set]
+	p.event()
+}
+
+// OnInsert implements cache.Policy.
+func (p *PerType) OnInsert(set, way int, line *cache.Line) {
+	p.setClock[set]++
+	i := set*p.ways + way
+	p.born[i] = p.setClock[set]
+	p.class[i] = line.Class
+}
+
+// OnEvict implements cache.Policy.
+func (p *PerType) OnEvict(set, way int, line *cache.Line) {
+	i := set*p.ways + way
+	p.state(p.class[i]).evicts[p.age(set, way)]++
+	p.event()
+}
+
+func (p *PerType) event() {
+	p.events++
+	if p.events >= p.cfg.UpdatePeriod {
+		for _, cs := range p.classes {
+			recomputeRank(p.cfg.AgeBuckets, cs.hits, cs.evicts, cs.rank)
+		}
+		p.events = 0
+	}
+}
+
+// Victim implements cache.Policy: lowest EVA under the frame's own
+// class ranking.
+func (p *PerType) Victim(set int, lines []cache.Line, allowed uint64) int {
+	best := -1
+	bestEVA := 0.0
+	bestAge := -1
+	for w := 0; w < p.ways; w++ {
+		if allowed&(1<<uint(w)) == 0 {
+			continue
+		}
+		i := set*p.ways + w
+		a := p.age(set, w)
+		e := p.state(p.class[i]).rank[a]
+		if best < 0 || e < bestEVA || (e == bestEVA && a > bestAge) {
+			best, bestEVA, bestAge = w, e, a
+		}
+	}
+	return best
+}
+
+var _ cache.Policy = (*PerType)(nil)

@@ -1,0 +1,235 @@
+package opt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+// ErrStateExplosion reports that CSOPT exceeded its state budget —
+// the tractability wall MAPS hits when running CSOPT on
+// memory-intensive benchmarks ("more than 6 days ... the simulator
+// does not finish").
+var ErrStateExplosion = fmt.Errorf("opt: CSOPT state budget exceeded")
+
+// CSOPTResult summarizes a cost-sensitive optimal solve.
+type CSOPTResult struct {
+	// Cost is the minimum total miss cost achievable on the fixed
+	// trace, in memory accesses.
+	Cost uint64
+	// Misses is the miss count along the cheapest path.
+	Misses uint64
+	// PeakStates is the largest number of simultaneous cache states
+	// explored in any set, evidence of the algorithm's expense.
+	PeakStates int
+}
+
+type costMiss struct {
+	cost   uint64
+	misses uint64
+}
+
+func better(a, b costMiss) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.misses < b.misses
+}
+
+// CSOPT computes the minimum total miss cost of a fixed access trace
+// on a size/ways cache, considering every eviction choice
+// (breadth-first over cache states with dominance pruning, after
+// Jeong & Dubois). Per-access miss costs come from the trace. Each
+// cache set is independent for a fixed trace, so sets are solved
+// separately and summed.
+//
+// maxStates bounds the per-set frontier; exceeding it returns
+// ErrStateExplosion. Zero means a conservative default of 1<<16.
+//
+// CSOPT assumes the trace is fixed — it cannot model the
+// trace-changing feedback of metadata caches; MAPS §V-B explains why
+// that assumption breaks and how iterating to a fixed point still
+// fails to finish. This implementation exists to reproduce both the
+// method and its cost.
+func CSOPT(tr *trace.Trace, sizeBytes, ways int, maxStates int) (CSOPTResult, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	if ways <= 0 || sizeBytes <= 0 || sizeBytes%(64*ways) != 0 {
+		return CSOPTResult{}, fmt.Errorf("opt: bad geometry size=%d ways=%d", sizeBytes, ways)
+	}
+	sets := sizeBytes / (64 * ways)
+	if sets&(sets-1) != 0 {
+		return CSOPTResult{}, fmt.Errorf("opt: set count %d not a power of two", sets)
+	}
+
+	bySet := make(map[int][]trace.Access)
+	for _, a := range tr.Accesses {
+		s := int(a.Addr / 64 % uint64(sets))
+		bySet[s] = append(bySet[s], a)
+	}
+
+	var total CSOPTResult
+	for _, sub := range bySet {
+		res, err := csoptSet(sub, ways, maxStates)
+		if err != nil {
+			return CSOPTResult{}, err
+		}
+		total.Cost += res.Cost
+		total.Misses += res.Misses
+		if res.PeakStates > total.PeakStates {
+			total.PeakStates = res.PeakStates
+		}
+	}
+	return total, nil
+}
+
+// csoptSet solves one cache set's subtrace exactly.
+func csoptSet(sub []trace.Access, ways, maxStates int) (CSOPTResult, error) {
+	// A state is the sorted multiset-free content of the set, encoded
+	// as a byte string of addresses.
+	states := map[string]costMiss{"": {}}
+	peak := 1
+	buf := make([]uint64, 0, ways+1)
+
+	for _, acc := range sub {
+		next := make(map[string]costMiss, len(states))
+		relax := func(key string, v costMiss) {
+			if old, ok := next[key]; !ok || better(v, old) {
+				next[key] = v
+			}
+		}
+		cost := uint64(acc.Cost)
+		if cost == 0 {
+			cost = 1
+		}
+		for key, v := range states {
+			content := decodeState(key, buf)
+			if containsAddr(content, acc.Addr) {
+				relax(key, v) // hit: free, state unchanged
+				continue
+			}
+			miss := costMiss{cost: v.cost + cost, misses: v.misses + 1}
+			if len(content) < ways {
+				relax(encodeState(append(content, acc.Addr)), miss)
+				continue
+			}
+			// Branch over every eviction candidate.
+			for i := range content {
+				candidate := make([]uint64, 0, ways)
+				candidate = append(candidate, content[:i]...)
+				candidate = append(candidate, content[i+1:]...)
+				candidate = append(candidate, acc.Addr)
+				relax(encodeState(candidate), miss)
+			}
+		}
+		states = next
+		if len(states) > peak {
+			peak = len(states)
+		}
+		if len(states) > maxStates {
+			return CSOPTResult{}, fmt.Errorf("%w: %d states in one set", ErrStateExplosion, len(states))
+		}
+	}
+
+	best := costMiss{cost: ^uint64(0)}
+	for _, v := range states {
+		if better(v, best) {
+			best = v
+		}
+	}
+	return CSOPTResult{Cost: best.cost, Misses: best.misses, PeakStates: peak}, nil
+}
+
+func encodeState(content []uint64) string {
+	sort.Slice(content, func(i, j int) bool { return content[i] < content[j] })
+	b := make([]byte, 8*len(content))
+	for i, a := range content {
+		binary.LittleEndian.PutUint64(b[i*8:], a)
+	}
+	return string(b)
+}
+
+func decodeState(key string, buf []uint64) []uint64 {
+	buf = buf[:0]
+	for i := 0; i+8 <= len(key); i += 8 {
+		buf = append(buf, binary.LittleEndian.Uint64([]byte(key[i:i+8])))
+	}
+	return buf
+}
+
+func containsAddr(content []uint64, addr uint64) bool {
+	for _, a := range content {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// OfflineMIN computes the exact Belady miss count for a fixed trace
+// on a size/ways cache with uniform miss costs. Unlike the live MIN
+// policy, the trace here really is the access stream, so this is the
+// true optimum for uniform costs — the baseline CSOPT must match when
+// every cost is one.
+func OfflineMIN(tr *trace.Trace, sizeBytes, ways int) (misses uint64, err error) {
+	if ways <= 0 || sizeBytes <= 0 || sizeBytes%(64*ways) != 0 {
+		return 0, fmt.Errorf("opt: bad geometry size=%d ways=%d", sizeBytes, ways)
+	}
+	sets := sizeBytes / (64 * ways)
+	if sets&(sets-1) != 0 {
+		return 0, fmt.Errorf("opt: set count %d not a power of two", sets)
+	}
+
+	// Next-use chain: for access i, nextUse[i] is the position of the
+	// next access to the same address, or infinity.
+	const inf = int64(1) << 62
+	n := len(tr.Accesses)
+	nextUse := make([]int64, n)
+	last := make(map[uint64]int)
+	for i := n - 1; i >= 0; i-- {
+		a := tr.Accesses[i].Addr
+		if j, ok := last[a]; ok {
+			nextUse[i] = int64(j)
+		} else {
+			nextUse[i] = inf
+		}
+		last[a] = i
+	}
+
+	type entry struct {
+		addr uint64
+		next int64
+	}
+	content := make(map[int][]entry, sets)
+	for i, acc := range tr.Accesses {
+		s := int(acc.Addr / 64 % uint64(sets))
+		set := content[s]
+		hit := false
+		for j := range set {
+			if set[j].addr == acc.Addr {
+				set[j].next = nextUse[i]
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		misses++
+		if len(set) < ways {
+			content[s] = append(set, entry{acc.Addr, nextUse[i]})
+			continue
+		}
+		victim, far := 0, int64(-1)
+		for j := range set {
+			if set[j].next > far {
+				victim, far = j, set[j].next
+			}
+		}
+		set[victim] = entry{acc.Addr, nextUse[i]}
+	}
+	return misses, nil
+}

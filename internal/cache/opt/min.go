@@ -1,0 +1,100 @@
+// Package opt implements the offline "optimal" replacement policies
+// MAPS evaluates and critiques: Belady's MIN driven by a recorded
+// trace, and CSOPT, the cost-sensitive optimal search of Jeong &
+// Dubois. Neither is actually optimal for metadata caches — showing
+// why is the point of the paper's §V.
+package opt
+
+import (
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+// MIN is Belady's algorithm with future knowledge taken from a
+// recorded trace (MAPS records it under true LRU). The policy keeps a
+// global cursor that advances once per live access, and a block's
+// "next use" is its first recorded trace position beyond the cursor —
+// exactly what "feeding the trace back as future knowledge" means.
+//
+// When the live stream tracks the trace one-for-one, this is classic
+// MIN and provably optimal for uniform costs. But metadata accesses
+// depend on cache contents: different evictions change which tree
+// nodes are requested, the live stream diverges from the recording,
+// and the cursor drifts out of alignment. From then on the future
+// knowledge is silently wrong — the paper's observation that MIN
+// "starts using incorrect future knowledge once it makes a
+// replacement decision that deviates from true-LRU."
+type MIN struct {
+	positions map[uint64][]int64
+	ptr       map[uint64]int
+	cursor    int64
+}
+
+// NewMIN builds the policy from a recorded trace.
+func NewMIN(tr *trace.Trace) *MIN {
+	return &MIN{positions: tr.FutureQueues(), ptr: make(map[uint64]int)}
+}
+
+// Name implements cache.Policy.
+func (*MIN) Name() string { return "min" }
+
+// Reset implements cache.Policy. Future knowledge persists across
+// geometry resets; the cursor restarts.
+func (p *MIN) Reset(sets, ways int) {
+	p.ptr = make(map[uint64]int)
+	p.cursor = 0
+}
+
+// OnAccess implements cache.Policy: every live access advances the
+// trace cursor, aligned or not.
+func (p *MIN) OnAccess(addr uint64, write bool) {
+	p.cursor++
+}
+
+// NextUse returns the first recorded position of addr at or beyond
+// the cursor, or -1 when the oracle believes the block is never used
+// again. Per-address pointers advance lazily and monotonically, so
+// the amortized cost is O(1).
+func (p *MIN) NextUse(addr uint64) int64 {
+	list := p.positions[addr]
+	i := p.ptr[addr]
+	for i < len(list) && list[i] < p.cursor {
+		i++
+	}
+	p.ptr[addr] = i
+	if i >= len(list) {
+		return -1
+	}
+	return list[i]
+}
+
+// OnHit implements cache.Policy.
+func (*MIN) OnHit(set, way int, line *cache.Line, write bool) {}
+
+// OnInsert implements cache.Policy.
+func (*MIN) OnInsert(set, way int, line *cache.Line) {}
+
+// OnEvict implements cache.Policy.
+func (*MIN) OnEvict(set, way int, line *cache.Line) {}
+
+// Victim implements cache.Policy: evict the allowed block reused
+// furthest in the future; blocks with no known reuse win outright.
+func (p *MIN) Victim(set int, lines []cache.Line, allowed uint64) int {
+	best := -1
+	var bestNext int64
+	for w := range lines {
+		if allowed&(1<<uint(w)) == 0 {
+			continue
+		}
+		next := p.NextUse(lines[w].Addr)
+		if next < 0 {
+			return w
+		}
+		if best < 0 || next > bestNext {
+			best, bestNext = w, next
+		}
+	}
+	return best
+}
+
+var _ cache.Policy = (*MIN)(nil)

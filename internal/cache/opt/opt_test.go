@@ -1,0 +1,275 @@
+package opt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+func uniformTrace(addrs []uint64) *trace.Trace {
+	tr := &trace.Trace{}
+	for _, a := range addrs {
+		tr.Append(trace.Access{Addr: a * 64, Cost: 1})
+	}
+	return tr
+}
+
+func replayMisses(tr *trace.Trace, size, ways int, p cache.Policy) uint64 {
+	c := cache.MustNew(size, ways, p)
+	for _, a := range tr.Accesses {
+		c.Access(a.Addr, a.Write, cache.WholeBlock)
+	}
+	return c.Stats().Misses
+}
+
+func TestMINBeatsLRUOnItsOwnTrace(t *testing.T) {
+	// Cyclic pattern over ways+1 blocks in one set: LRU thrashes
+	// (misses everything), MIN with faithful future knowledge keeps
+	// most of the set.
+	var seq []uint64
+	for i := 0; i < 60; i++ {
+		seq = append(seq, uint64(i%3))
+	}
+	tr := uniformTrace(seq)
+	lru := replayMisses(tr, 2*64, 2, policy.NewLRU())
+	min := replayMisses(tr, 2*64, 2, NewMIN(tr))
+	if lru != 60 {
+		t.Fatalf("LRU misses = %d, want full thrash 60", lru)
+	}
+	// Belady on a cyclic 3-block stream with 2 ways misses every
+	// other access plus a cold miss: 31.
+	if min > 31 {
+		t.Errorf("MIN misses = %d, want <= 31 (LRU thrashes at %d)", min, lru)
+	}
+}
+
+func TestMINMatchesOfflineMINWhenTraceIsFaithful(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var seq []uint64
+	for i := 0; i < 3000; i++ {
+		seq = append(seq, uint64(rng.Intn(32)))
+	}
+	tr := uniformTrace(seq)
+	live := replayMisses(tr, 4*64*4, 4, NewMIN(tr))
+	offline, err := OfflineMIN(tr, 4*64*4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != offline {
+		t.Errorf("live MIN on faithful trace = %d misses, offline = %d", live, offline)
+	}
+}
+
+func TestMINStaleKnowledge(t *testing.T) {
+	// Feed MIN a trace for a DIFFERENT access stream. The oracle
+	// misleads; the policy must still terminate and produce sane
+	// stats (this is the paper's deviation pathology in miniature).
+	oracle := uniformTrace([]uint64{0, 1, 2, 3, 0, 1, 2, 3})
+	min := NewMIN(oracle)
+	c := cache.MustNew(2*64, 2, min)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(rng.Intn(8))*64, false, cache.WholeBlock)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("inconsistent stats: %+v", s)
+	}
+	// All future queues exhausted: every block looks dead.
+	if min.NextUse(0) != -1 {
+		t.Error("queue for block 0 should be exhausted")
+	}
+}
+
+func TestMINNextUse(t *testing.T) {
+	tr := uniformTrace([]uint64{5, 6, 5})
+	min := NewMIN(tr)
+	if got := min.NextUse(5 * 64); got != 0 {
+		t.Errorf("initial next use = %d, want 0", got)
+	}
+	// Replay aligned with the trace: 5, 6, 5.
+	min.OnAccess(5*64, false) // cursor 1: position 0 consumed
+	if got := min.NextUse(5 * 64); got != 2 {
+		t.Errorf("after first access, next = %d, want 2", got)
+	}
+	min.OnAccess(6*64, false)
+	min.OnAccess(5*64, false) // cursor 3: beyond the last position
+	if got := min.NextUse(5 * 64); got != -1 {
+		t.Errorf("exhausted next = %d, want -1", got)
+	}
+	if got := min.NextUse(999 * 64); got != -1 {
+		t.Errorf("unknown block next = %d, want -1", got)
+	}
+}
+
+func TestMINCursorDrift(t *testing.T) {
+	// Divergent replay: extra live accesses push the cursor past
+	// recorded positions, so a block the trace says is reused soon
+	// looks dead — the staleness MAPS §V-B describes.
+	tr := uniformTrace([]uint64{1, 2, 3, 1})
+	min := NewMIN(tr)
+	for i := 0; i < 4; i++ {
+		min.OnAccess(99*64, false) // accesses the trace never saw
+	}
+	if got := min.NextUse(1 * 64); got != -1 {
+		t.Errorf("after drift, next use = %d, want -1 (stale oracle)", got)
+	}
+}
+
+func TestOfflineMINGeometryValidation(t *testing.T) {
+	tr := uniformTrace([]uint64{0})
+	if _, err := OfflineMIN(tr, 0, 4); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := OfflineMIN(tr, 3*64*4, 4); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestCSOPTUniformCostMatchesOfflineMIN(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var seq []uint64
+	for i := 0; i < 400; i++ {
+		seq = append(seq, uint64(rng.Intn(10)))
+	}
+	tr := uniformTrace(seq)
+	offline, err := OfflineMIN(tr, 2*64*2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := CSOPT(tr, 2*64*2, 2, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Misses != offline || cs.Cost != offline {
+		t.Errorf("CSOPT (misses=%d cost=%d) != offline MIN (%d) under uniform cost", cs.Misses, cs.Cost, offline)
+	}
+	if cs.PeakStates < 1 {
+		t.Error("peak states not tracked")
+	}
+}
+
+func TestCSOPTSingleWayAlternatingFullyMisses(t *testing.T) {
+	// One set, 1 way, alternating A/B with mandatory write-allocate:
+	// every access misses regardless of policy, so the optimum is the
+	// full cost sum. Pins down the insertion model.
+	tr := &trace.Trace{}
+	app := func(addr uint64, cost uint8) { tr.Append(trace.Access{Addr: addr * 64, Cost: cost}) }
+	app(0, 10)
+	app(1, 1)
+	app(0, 10)
+	app(1, 1)
+	app(0, 10)
+	cs, err := CSOPT(tr, 64, 1, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cost != 32 || cs.Misses != 5 {
+		t.Errorf("CSOPT = {cost %d, misses %d}, want {32, 5}", cs.Cost, cs.Misses)
+	}
+}
+
+func TestCSOPTCostSensitiveBeatsDistanceOnly(t *testing.T) {
+	// Two-way set, X expensive (8), Y/Z cheap (1):
+	//   X Y Z Y X
+	// At Z's miss the set holds {X, Y}. Distance-only Belady evicts X
+	// (reused furthest) and pays for it again: 8+1+1+0+8 = 18.
+	// Cost-aware evicts Y, re-misses Y cheaply, and hits X:
+	// 8+1+1+1+0 = 11.
+	tr := &trace.Trace{}
+	app := func(addr uint64, cost uint8) { tr.Append(trace.Access{Addr: addr * 64, Cost: cost}) }
+	app(0, 8) // X
+	app(1, 1) // Y
+	app(2, 1) // Z
+	app(1, 1) // Y
+	app(0, 8) // X
+
+	cs, err := CSOPT(tr, 2*64, 2, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cost != 11 {
+		t.Errorf("CSOPT cost = %d, want 11 (cost-aware keeps the expensive block)", cs.Cost)
+	}
+
+	// The distance-only plan really does pay 18: replay live MIN on
+	// its faithful trace accumulating costs.
+	c := cache.MustNew(2*64, 2, NewMIN(tr))
+	var minCost uint64
+	for _, a := range tr.Accesses {
+		if !c.Access(a.Addr, a.Write, cache.WholeBlock).Hit {
+			minCost += uint64(a.Cost)
+		}
+	}
+	if minCost != 18 {
+		t.Errorf("distance-only MIN cost = %d, want 18", minCost)
+	}
+	if cs.Cost >= minCost {
+		t.Errorf("CSOPT (%d) should beat distance-only MIN (%d)", cs.Cost, minCost)
+	}
+}
+
+func TestCSOPTStateExplosion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := &trace.Trace{}
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Access{Addr: uint64(rng.Intn(64)) * 64, Cost: uint8(1 + rng.Intn(8))})
+	}
+	_, err := CSOPT(tr, 64*8, 8, 64) // tiny state budget
+	if !errors.Is(err, ErrStateExplosion) {
+		t.Errorf("expected state explosion, got %v", err)
+	}
+}
+
+func TestCSOPTGeometryValidation(t *testing.T) {
+	tr := uniformTrace([]uint64{0})
+	if _, err := CSOPT(tr, 100, 3, 0); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := CSOPT(tr, 3*64*2, 2, 0); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestCSOPTDefaultBudget(t *testing.T) {
+	tr := uniformTrace([]uint64{0, 1, 0})
+	if _, err := CSOPT(tr, 64, 1, 0); err != nil {
+		t.Errorf("default budget failed: %v", err)
+	}
+}
+
+// Property: CSOPT cost never exceeds the cost of replaying the trace
+// under LRU (optimal is at least as good as any online policy).
+func TestPropertyCSOPTLowerBoundsLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for round := 0; round < 10; round++ {
+		tr := &trace.Trace{}
+		costs := make(map[uint64]uint8)
+		for i := 0; i < 200; i++ {
+			addr := uint64(rng.Intn(12)) * 64
+			if _, ok := costs[addr]; !ok {
+				costs[addr] = uint8(1 + rng.Intn(6))
+			}
+			tr.Append(trace.Access{Addr: addr, Cost: costs[addr]})
+		}
+		cs, err := CSOPT(tr, 2*64*2, 2, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay under LRU, accumulating the same costs.
+		c := cache.MustNew(2*64*2, 2, policy.NewLRU())
+		var lruCost uint64
+		for _, a := range tr.Accesses {
+			if !c.Access(a.Addr, false, cache.WholeBlock).Hit {
+				lruCost += uint64(a.Cost)
+			}
+		}
+		if cs.Cost > lruCost {
+			t.Errorf("round %d: CSOPT cost %d exceeds LRU cost %d", round, cs.Cost, lruCost)
+		}
+	}
+}

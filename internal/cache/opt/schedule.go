@@ -1,0 +1,227 @@
+package opt
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+// Schedule is the eviction plan extracted from a CSOPT solve: for
+// each cache set, the victim chosen at each miss, in miss order. The
+// NoVictim sentinel means the miss filled an empty way.
+//
+// Replaying a Schedule against a *different* access stream — which is
+// exactly what happens when eviction decisions change the metadata
+// accesses — exercises the paper's §V-B iteration: the script runs
+// out of alignment and the replay must fall back to an online policy.
+type Schedule struct {
+	sets   int
+	ways   int
+	perSet map[int][]uint64
+}
+
+// Sets reports the geometry the schedule was computed for.
+func (s *Schedule) Sets() int { return s.sets }
+
+// Misses reports the total number of scheduled misses.
+func (s *Schedule) Misses() int {
+	n := 0
+	for _, v := range s.perSet {
+		n += len(v)
+	}
+	return n
+}
+
+// CSOPTSchedule solves the cost-sensitive optimal replacement problem
+// and additionally reconstructs the eviction schedule along the
+// cheapest path. Costs and geometry follow CSOPT.
+func CSOPTSchedule(tr *trace.Trace, sizeBytes, ways, maxStates int) (*Schedule, CSOPTResult, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	if ways <= 0 || sizeBytes <= 0 || sizeBytes%(64*ways) != 0 {
+		return nil, CSOPTResult{}, fmt.Errorf("opt: bad geometry size=%d ways=%d", sizeBytes, ways)
+	}
+	sets := sizeBytes / (64 * ways)
+	if sets&(sets-1) != 0 {
+		return nil, CSOPTResult{}, fmt.Errorf("opt: set count %d not a power of two", sets)
+	}
+
+	bySet := make(map[int][]trace.Access)
+	for _, a := range tr.Accesses {
+		s := int(a.Addr / 64 % uint64(sets))
+		bySet[s] = append(bySet[s], a)
+	}
+
+	sched := &Schedule{sets: sets, ways: ways, perSet: map[int][]uint64{}}
+	var total CSOPTResult
+	for set, sub := range bySet {
+		victims, res, err := csoptSetSchedule(sub, ways, maxStates)
+		if err != nil {
+			return nil, CSOPTResult{}, err
+		}
+		sched.perSet[set] = victims
+		total.Cost += res.Cost
+		total.Misses += res.Misses
+		if res.PeakStates > total.PeakStates {
+			total.PeakStates = res.PeakStates
+		}
+	}
+	return sched, total, nil
+}
+
+// NoVictim marks a scheduled miss that filled an empty way.
+const NoVictim = ^uint64(0)
+
+// step records how a state was reached at one access.
+type step struct {
+	parent string
+	victim uint64 // NoVictim = no eviction
+	miss   bool
+}
+
+// csoptSetSchedule is csoptSet with backpointers, reconstructing the
+// victim sequence of the cheapest path.
+func csoptSetSchedule(sub []trace.Access, ways, maxStates int) ([]uint64, CSOPTResult, error) {
+	states := map[string]costMiss{"": {}}
+	history := make([]map[string]step, len(sub))
+	peak := 1
+	buf := make([]uint64, 0, ways+1)
+
+	for i, acc := range sub {
+		next := make(map[string]costMiss, len(states))
+		steps := make(map[string]step, len(states))
+		relax := func(key string, v costMiss, st step) {
+			if old, ok := next[key]; !ok || better(v, old) {
+				next[key] = v
+				steps[key] = st
+			}
+		}
+		cost := uint64(acc.Cost)
+		if cost == 0 {
+			cost = 1
+		}
+		for key, v := range states {
+			content := decodeState(key, buf)
+			if containsAddr(content, acc.Addr) {
+				relax(key, v, step{parent: key})
+				continue
+			}
+			miss := costMiss{cost: v.cost + cost, misses: v.misses + 1}
+			if len(content) < ways {
+				relax(encodeState(append(content, acc.Addr)), miss, step{parent: key, victim: NoVictim, miss: true})
+				continue
+			}
+			for j := range content {
+				victim := content[j]
+				candidate := make([]uint64, 0, ways)
+				candidate = append(candidate, content[:j]...)
+				candidate = append(candidate, content[j+1:]...)
+				candidate = append(candidate, acc.Addr)
+				relax(encodeState(candidate), miss, step{parent: key, victim: victim, miss: true})
+			}
+		}
+		states = next
+		history[i] = steps
+		if len(states) > peak {
+			peak = len(states)
+		}
+		if len(states) > maxStates {
+			return nil, CSOPTResult{}, fmt.Errorf("%w: %d states in one set", ErrStateExplosion, len(states))
+		}
+	}
+
+	bestKey, best := "", costMiss{cost: ^uint64(0)}
+	for key, v := range states {
+		if better(v, best) {
+			bestKey, best = key, v
+		}
+	}
+
+	// Walk backpointers to the start, collecting victims at misses.
+	victims := make([]uint64, 0, best.misses)
+	key := bestKey
+	for i := len(sub) - 1; i >= 0; i-- {
+		st := history[i][key]
+		if st.miss {
+			victims = append(victims, st.victim)
+		}
+		key = st.parent
+	}
+	// Reverse into miss order.
+	for l, r := 0, len(victims)-1; l < r; l, r = l+1, r-1 {
+		victims[l], victims[r] = victims[r], victims[l]
+	}
+	return victims, CSOPTResult{Cost: best.cost, Misses: best.misses, PeakStates: peak}, nil
+}
+
+// Scripted replays a Schedule as a cache.Policy. While the live
+// stream matches the one the schedule was solved for, every eviction
+// is the optimal one. When the script prescribes a block that is not
+// resident, or runs out of prescriptions, the policy falls back to
+// true LRU and counts the divergence — the measurable symptom of the
+// trace-feedback problem.
+type Scripted struct {
+	sched    *Schedule
+	missIdx  map[int]int
+	fallback *policy.LRU
+	// Diverged counts misses where the script could not be followed.
+	Diverged uint64
+	// Followed counts misses evicted exactly as prescribed.
+	Followed uint64
+}
+
+// NewScripted wraps a schedule for replay.
+func NewScripted(sched *Schedule) *Scripted {
+	return &Scripted{sched: sched, missIdx: map[int]int{}, fallback: policy.NewLRU()}
+}
+
+// Name implements cache.Policy.
+func (*Scripted) Name() string { return "csopt-scripted" }
+
+// Reset implements cache.Policy.
+func (p *Scripted) Reset(sets, ways int) {
+	p.missIdx = map[int]int{}
+	p.fallback.Reset(sets, ways)
+}
+
+// OnAccess implements cache.Policy.
+func (p *Scripted) OnAccess(addr uint64, write bool) {}
+
+// OnHit implements cache.Policy.
+func (p *Scripted) OnHit(set, way int, line *cache.Line, write bool) {
+	p.fallback.OnHit(set, way, line, write)
+}
+
+// OnInsert implements cache.Policy. Insertions advance the set's
+// script position: every insertion corresponds to one scheduled miss.
+func (p *Scripted) OnInsert(set, way int, line *cache.Line) {
+	p.fallback.OnInsert(set, way, line)
+	p.missIdx[set]++
+}
+
+// OnEvict implements cache.Policy.
+func (p *Scripted) OnEvict(set, way int, line *cache.Line) {
+	p.fallback.OnEvict(set, way, line)
+}
+
+// Victim implements cache.Policy: follow the script when possible.
+func (p *Scripted) Victim(set int, lines []cache.Line, allowed uint64) int {
+	script := p.sched.perSet[set]
+	idx := p.missIdx[set]
+	if idx < len(script) && script[idx] != NoVictim {
+		want := script[idx]
+		for w := range lines {
+			if allowed&(1<<uint(w)) != 0 && lines[w].Addr == want {
+				p.Followed++
+				return w
+			}
+		}
+	}
+	p.Diverged++
+	return p.fallback.Victim(set, lines, allowed)
+}
+
+var _ cache.Policy = (*Scripted)(nil)

@@ -1,0 +1,115 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/trace"
+)
+
+func TestCSOPTScheduleMatchesCSOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tr := &trace.Trace{}
+	for i := 0; i < 300; i++ {
+		tr.Append(trace.Access{Addr: uint64(rng.Intn(10)) * 64, Cost: uint8(1 + rng.Intn(4))})
+	}
+	plain, err := CSOPT(tr, 2*64*2, 2, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, res, err := CSOPTSchedule(tr, 2*64*2, 2, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != plain.Cost || res.Misses != plain.Misses {
+		t.Errorf("schedule solve (cost %d, misses %d) != plain (%d, %d)",
+			res.Cost, res.Misses, plain.Cost, plain.Misses)
+	}
+	if sched.Misses() != int(res.Misses) {
+		t.Errorf("schedule has %d miss entries, want %d", sched.Misses(), res.Misses)
+	}
+	if sched.Sets() != 2 {
+		t.Errorf("sets = %d", sched.Sets())
+	}
+}
+
+// Replaying the schedule on the exact trace must reproduce the
+// optimal cost: the scripted policy follows every prescription.
+func TestScriptedReplayAchievesOptimalCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := &trace.Trace{}
+	costs := map[uint64]uint8{}
+	for i := 0; i < 400; i++ {
+		addr := uint64(rng.Intn(8)) * 64
+		if _, ok := costs[addr]; !ok {
+			costs[addr] = uint8(1 + rng.Intn(5))
+		}
+		tr.Append(trace.Access{Addr: addr, Cost: costs[addr]})
+	}
+	sched, res, err := CSOPTSchedule(tr, 2*64, 2, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripted := NewScripted(sched)
+	c := cache.MustNew(2*64, 2, scripted)
+	var replayCost uint64
+	var misses uint64
+	for _, a := range tr.Accesses {
+		if !c.Access(a.Addr, a.Write, cache.WholeBlock).Hit {
+			replayCost += uint64(a.Cost)
+			misses++
+		}
+	}
+	if replayCost != res.Cost || misses != res.Misses {
+		t.Errorf("replay (cost %d, misses %d) != optimal (%d, %d); diverged %d times",
+			replayCost, misses, res.Cost, res.Misses, scripted.Diverged)
+	}
+	if scripted.Diverged != 0 {
+		t.Errorf("faithful replay diverged %d times", scripted.Diverged)
+	}
+}
+
+// Replaying against a different stream diverges and falls back — the
+// iterate-CSOPT pathology of §V-B in miniature.
+func TestScriptedDivergesOnDifferentStream(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Access{Addr: uint64(i%4) * 64, Cost: 1})
+	}
+	sched, _, err := CSOPTSchedule(tr, 2*64, 2, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripted := NewScripted(sched)
+	c := cache.MustNew(2*64, 2, scripted)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(rng.Intn(16))*64, false, cache.WholeBlock)
+	}
+	if scripted.Diverged == 0 {
+		t.Error("divergent stream never fell back")
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("inconsistent stats: %+v", s)
+	}
+}
+
+func TestCSOPTScheduleGeometryValidation(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Access{Addr: 0, Cost: 1})
+	if _, _, err := CSOPTSchedule(tr, 100, 3, 0); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, _, err := CSOPTSchedule(tr, 3*64*2, 2, 0); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestScriptedName(t *testing.T) {
+	s := NewScripted(&Schedule{perSet: map[int][]uint64{}})
+	if s.Name() != "csopt-scripted" {
+		t.Error("name")
+	}
+}

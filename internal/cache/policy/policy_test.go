@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+)
+
+func TestNames(t *testing.T) {
+	want := map[string]cache.Policy{
+		"lru": NewLRU(), "plru": NewPLRU(), "fifo": NewFIFO(),
+		"random": NewRandom(0), "srrip": NewSRRIP(), "brrip": NewBRRIP(),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+}
+
+func TestLRUVictimRespectsMask(t *testing.T) {
+	p := NewLRU()
+	p.Reset(1, 4)
+	lines := make([]cache.Line, 4)
+	for w := 0; w < 4; w++ {
+		p.OnInsert(0, w, &lines[w]) // insertion order: 0 oldest
+	}
+	if got := p.Victim(0, lines, 0b1111); got != 0 {
+		t.Errorf("victim = %d, want 0", got)
+	}
+	if got := p.Victim(0, lines, 0b1100); got != 2 {
+		t.Errorf("masked victim = %d, want 2", got)
+	}
+	p.OnHit(0, 2, &lines[2], false)
+	if got := p.Victim(0, lines, 0b1100); got != 3 {
+		t.Errorf("victim after touch = %d, want 3", got)
+	}
+}
+
+func TestPLRUBehaviour(t *testing.T) {
+	p := NewPLRU()
+	p.Reset(1, 4)
+	lines := make([]cache.Line, 4)
+	for w := 0; w < 3; w++ {
+		p.OnInsert(0, w, &lines[w])
+	}
+	// Ways 0..2 are MRU-marked; way 3 cold.
+	if got := p.Victim(0, lines, 0b1111); got != 3 {
+		t.Errorf("victim = %d, want cold way 3", got)
+	}
+	// Marking the 4th way clears the others and keeps only it.
+	p.OnInsert(0, 3, &lines[3])
+	got := p.Victim(0, lines, 0b1111)
+	if got == 3 {
+		t.Errorf("victim = just-inserted way 3")
+	}
+	// With a mask covering only MRU ways, it still answers.
+	p.OnHit(0, 0, &lines[0], false)
+	if got := p.Victim(0, lines, 0b0001); got != 0 {
+		t.Errorf("fully-hot masked victim = %d, want 0", got)
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	p := NewFIFO()
+	p.Reset(1, 3)
+	lines := make([]cache.Line, 3)
+	for w := 0; w < 3; w++ {
+		p.OnInsert(0, w, &lines[w])
+	}
+	// Touch way 0 repeatedly; FIFO must still evict it first.
+	for i := 0; i < 5; i++ {
+		p.OnHit(0, 0, &lines[0], false)
+	}
+	if got := p.Victim(0, lines, 0b111); got != 0 {
+		t.Errorf("victim = %d, want oldest way 0", got)
+	}
+}
+
+func TestRandomStaysInMask(t *testing.T) {
+	p := NewRandom(42)
+	p.Reset(1, 8)
+	lines := make([]cache.Line, 8)
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		w := p.Victim(0, lines, 0b10100000)
+		if w != 5 && w != 7 {
+			t.Fatalf("victim %d outside mask", w)
+		}
+		counts[w]++
+	}
+	if counts[5] == 0 || counts[7] == 0 {
+		t.Errorf("random victim not distributed: %v", counts)
+	}
+}
+
+func TestRandomZeroSeed(t *testing.T) {
+	p := NewRandom(0)
+	p.Reset(1, 2)
+	if w := p.Victim(0, make([]cache.Line, 2), 0b11); w != 0 && w != 1 {
+		t.Errorf("victim = %d", w)
+	}
+}
+
+func TestSRRIPAgesUntilVictim(t *testing.T) {
+	p := NewSRRIP()
+	p.Reset(1, 2)
+	lines := make([]cache.Line, 2)
+	p.OnInsert(0, 0, &lines[0]) // rrpv 2
+	p.OnInsert(0, 1, &lines[1]) // rrpv 2
+	p.OnHit(0, 1, &lines[1], false)
+	// way0 at 2, way1 at 0: aging promotes way0 to 3 first.
+	if got := p.Victim(0, lines, 0b11); got != 0 {
+		t.Errorf("victim = %d, want 0", got)
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := NewBRRIP()
+	p.Reset(1, 8)
+	lines := make([]cache.Line, 8)
+	distant := 0
+	for i := 0; i < 320; i++ {
+		p.OnInsert(0, i%8, &lines[i%8])
+		if p.rrpv[i%8] == rripMax {
+			distant++
+		}
+	}
+	if distant < 280 {
+		t.Errorf("only %d/320 insertions distant", distant)
+	}
+	if distant == 320 {
+		t.Error("no long-interval insertions at all")
+	}
+}
+
+func TestPoliciesUnderRealCache(t *testing.T) {
+	// Smoke: each policy runs a working-set loop and gets hits once
+	// the set fits.
+	mk := []func() cache.Policy{
+		func() cache.Policy { return NewLRU() },
+		func() cache.Policy { return NewPLRU() },
+		func() cache.Policy { return NewFIFO() },
+		func() cache.Policy { return NewSRRIP() },
+	}
+	for _, m := range mk {
+		p := m()
+		c := cache.MustNew(8*64, 8, p)
+		for pass := 0; pass < 4; pass++ {
+			for b := uint64(0); b < 8; b++ {
+				c.Access(b*64, false, cache.WholeBlock)
+			}
+		}
+		s := c.Stats()
+		if s.Hits != 24 || s.Misses != 8 {
+			t.Errorf("%s: fitting working set stats %+v", p.Name(), s)
+		}
+	}
+}

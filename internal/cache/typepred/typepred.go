@@ -1,0 +1,149 @@
+// Package typepred implements the replacement policy MAPS's
+// conclusions call for but leave as future work: an RRIP-style
+// reuse predictor whose prediction signature is the *metadata type*
+// (kind + tree level + request type) rather than a PC or address
+// hash. Section VI: "metadata type and access type should figure
+// into those replacement policies".
+//
+// Mechanism (SHiP-style, signature = class byte):
+//
+//   - Per-signature saturating counters learn whether blocks of that
+//     signature are typically reused before eviction.
+//   - Insertions consult the counter: reused signatures insert with a
+//     near prediction (RRPV 0/long), dead signatures insert distant
+//     (RRPV max), so streams of hopeless hash blocks flow through one
+//     way instead of flushing the counters and tree nodes that do
+//     cache well.
+//   - Hits promote to RRPV 0 and train the signature up; evictions of
+//     never-reused blocks train it down.
+package typepred
+
+import (
+	"github.com/maps-sim/mapsim/internal/cache"
+)
+
+const (
+	rrpvMax    = 3
+	ctrMax     = 7
+	ctrInit    = 4
+	signatures = 256
+)
+
+// Policy is the type-aware reuse predictor.
+type Policy struct {
+	ways int
+	rrpv []uint8
+	// reused marks whether a resident line has hit since insertion.
+	reused []bool
+	// sig is the signature each resident line was inserted under.
+	sig []uint8
+	// ctr holds the per-signature reuse confidence.
+	ctr [signatures]uint8
+
+	// pending is the signature of the access currently being
+	// processed (OnAccess runs before insertion).
+	pending uint8
+}
+
+// New creates a type-aware predictor.
+func New() *Policy { return &Policy{} }
+
+// Name implements cache.Policy.
+func (*Policy) Name() string { return "typepred" }
+
+// Reset implements cache.Policy.
+func (p *Policy) Reset(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	p.reused = make([]bool, sets*ways)
+	p.sig = make([]uint8, sets*ways)
+	for i := range p.ctr {
+		p.ctr[i] = ctrInit
+	}
+}
+
+// Observe tells the policy the classification of the next access.
+// The metadata cache calls it with the class byte (kind + level); the
+// request type is folded in by the write bit.
+func (p *Policy) Observe(class uint8, write bool) {
+	s := class
+	if write {
+		s |= 0x80
+	}
+	p.pending = s
+}
+
+// OnAccess implements cache.Policy.
+func (p *Policy) OnAccess(addr uint64, write bool) {}
+
+// OnHit implements cache.Policy: promote and train up.
+func (p *Policy) OnHit(set, way int, line *cache.Line, write bool) {
+	i := set*p.ways + way
+	p.rrpv[i] = 0
+	if !p.reused[i] {
+		p.reused[i] = true
+		if p.ctr[p.sig[i]] < ctrMax {
+			p.ctr[p.sig[i]]++
+		}
+	}
+}
+
+// OnInsert implements cache.Policy: prediction by signature.
+func (p *Policy) OnInsert(set, way int, line *cache.Line) {
+	// Prefer the line's own class over the pending hint: the cache
+	// stores it at insertion, making this robust to interleaving.
+	s := line.Class
+	if p.pending != 0 {
+		s = p.pending
+	}
+	i := set*p.ways + way
+	p.sig[i] = s
+	p.reused[i] = false
+	switch {
+	case p.ctr[s] >= 6: // strongly reused: near
+		p.rrpv[i] = 0
+	case p.ctr[s] <= 1: // dead on arrival: distant
+		p.rrpv[i] = rrpvMax
+	default:
+		p.rrpv[i] = rrpvMax - 1
+	}
+	p.pending = 0
+}
+
+// OnEvict implements cache.Policy: dead blocks train their signature
+// down.
+func (p *Policy) OnEvict(set, way int, line *cache.Line) {
+	i := set*p.ways + way
+	if !p.reused[i] && p.ctr[p.sig[i]] > 0 {
+		p.ctr[p.sig[i]]--
+	}
+}
+
+// Victim implements cache.Policy: standard RRIP aging over the
+// allowed ways.
+func (p *Policy) Victim(set int, lines []cache.Line, allowed uint64) int {
+	for {
+		for w := 0; w < p.ways; w++ {
+			if allowed&(1<<uint(w)) != 0 && p.rrpv[set*p.ways+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			if allowed&(1<<uint(w)) != 0 && p.rrpv[set*p.ways+w] < rrpvMax {
+				p.rrpv[set*p.ways+w]++
+			}
+		}
+	}
+}
+
+// Confidence reports the learned reuse counter for a signature, for
+// tests and diagnostics.
+func (p *Policy) Confidence(class uint8, write bool) uint8 {
+	s := class
+	if write {
+		s |= 0x80
+	}
+	return p.ctr[s]
+}
+
+var _ cache.Policy = (*Policy)(nil)

@@ -1,0 +1,152 @@
+// Package dram models main-memory timing in the style of DRAMSim2,
+// reduced to what the MAPS experiments consume: per-access latency
+// with bank-level parallelism and row-buffer locality, plus transfer
+// energy at the paper's 150 pJ/bit.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config sets the memory geometry and timing, in CPU cycles at the
+// simulated core clock (3 GHz in Table I, so 1 cycle = 1/3 ns).
+type Config struct {
+	// Banks is the number of independent banks.
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes uint64
+	// TRCD is the activate-to-read delay in cycles.
+	TRCD uint64
+	// TCAS is the column access latency in cycles.
+	TCAS uint64
+	// TRP is the precharge latency in cycles.
+	TRP uint64
+	// TBurst is the data-transfer time of one 64 B block in cycles.
+	TBurst uint64
+	// EnergyPJPerBit is the transfer energy; the paper uses 150 pJ/b.
+	EnergyPJPerBit float64
+	// RowActivatePJ is the fixed energy per row activation.
+	RowActivatePJ float64
+}
+
+// Default returns timing typical of DDR3-1600 expressed in 3 GHz CPU
+// cycles (≈13.75 ns tRCD/tCAS/tRP → ≈41 cycles).
+func Default() Config {
+	return Config{
+		Banks:          8,
+		RowBytes:       8 << 10,
+		TRCD:           41,
+		TCAS:           41,
+		TRP:            41,
+		TBurst:         12,
+		EnergyPJPerBit: 150,
+		RowActivatePJ:  5000,
+	}
+}
+
+// Stats aggregates memory activity.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	// EnergyPJ is the total transfer + activation energy.
+	EnergyPJ float64
+	// BusyCycles approximates total bank occupancy.
+	BusyCycles uint64
+}
+
+// Accesses returns reads + writes.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// RowHitRate returns the fraction of accesses hitting an open row.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses())
+}
+
+type bank struct {
+	openRow int64
+	readyAt uint64
+}
+
+// Memory is an open-page banked DRAM timing model. Not safe for
+// concurrent use; parallel experiment sweeps own private Memories.
+type Memory struct {
+	cfg      Config
+	rowShift uint
+	banks    []bank
+	stats    Stats
+}
+
+// New creates a memory. Banks must be a power of two and RowBytes a
+// power-of-two multiple of 64.
+func New(cfg Config) (*Memory, error) {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		return nil, fmt.Errorf("dram: banks %d must be a positive power of two", cfg.Banks)
+	}
+	if cfg.RowBytes < 64 || cfg.RowBytes&(cfg.RowBytes-1) != 0 {
+		return nil, fmt.Errorf("dram: row size %d must be a power of two >= 64", cfg.RowBytes)
+	}
+	m := &Memory{
+		cfg:      cfg,
+		rowShift: uint(bits.TrailingZeros64(cfg.RowBytes)),
+		banks:    make([]bank, cfg.Banks),
+	}
+	for i := range m.banks {
+		m.banks[i].openRow = -1
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Stats returns a copy of the counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (bank state persists).
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// Access issues one 64 B block transfer at CPU cycle `now` and
+// returns its completion latency in cycles, including any wait for
+// the target bank.
+func (m *Memory) Access(now uint64, addr uint64, write bool) (latency uint64) {
+	rowGlobal := addr >> m.rowShift
+	b := &m.banks[rowGlobal%uint64(len(m.banks))]
+	row := int64(rowGlobal / uint64(len(m.banks)))
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+	var service uint64
+	if b.openRow == row {
+		m.stats.RowHits++
+		service = m.cfg.TCAS + m.cfg.TBurst
+	} else {
+		m.stats.RowMisses++
+		service = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS + m.cfg.TBurst
+		m.stats.EnergyPJ += m.cfg.RowActivatePJ
+		b.openRow = row
+	}
+	b.readyAt = start + service
+	m.stats.BusyCycles += service
+	m.stats.EnergyPJ += m.cfg.EnergyPJPerBit * 64 * 8
+
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	return (start - now) + service
+}

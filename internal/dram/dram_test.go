@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Banks = 3
+	if _, err := New(cfg); err == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+	cfg = Default()
+	cfg.RowBytes = 100
+	if _, err := New(cfg); err == nil {
+		t.Error("bad row size accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestRowBufferHit(t *testing.T) {
+	m := MustNew(Default())
+	cfg := Default()
+	first := m.Access(0, 0, false)
+	wantMiss := cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.TBurst
+	if first != wantMiss {
+		t.Errorf("cold access latency = %d, want %d", first, wantMiss)
+	}
+	// Same row, after the bank is free.
+	now := first
+	second := m.Access(now, 64, false)
+	wantHit := cfg.TCAS + cfg.TBurst
+	if second != wantHit {
+		t.Errorf("row-hit latency = %d, want %d", second, wantHit)
+	}
+	s := m.Stats()
+	if s.RowHits != 1 || s.RowMisses != 1 {
+		t.Errorf("row stats: %+v", s)
+	}
+	if s.RowHitRate() != 0.5 {
+		t.Errorf("hit rate = %v", s.RowHitRate())
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	cfg := Default()
+	m := MustNew(cfg)
+	m.Access(0, 0, false)
+	// Different row, same bank: addresses separated by
+	// RowBytes*Banks fall in the same bank.
+	lat := m.Access(1000, cfg.RowBytes*uint64(cfg.Banks), false)
+	if lat != cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst {
+		t.Errorf("row conflict latency = %d", lat)
+	}
+	if m.Stats().RowMisses != 2 {
+		t.Errorf("misses = %d", m.Stats().RowMisses)
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	cfg := Default()
+	m := MustNew(cfg)
+	// Two immediate accesses to the same bank: second waits.
+	l1 := m.Access(0, 0, false)
+	l2 := m.Access(0, 64, false)
+	if l2 <= cfg.TCAS+cfg.TBurst {
+		t.Errorf("queued access latency = %d, should include wait for %d", l2, l1)
+	}
+	if l2 != l1+cfg.TCAS+cfg.TBurst {
+		t.Errorf("queued latency = %d, want %d", l2, l1+cfg.TCAS+cfg.TBurst)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := Default()
+	m := MustNew(cfg)
+	m.Access(0, 0, false)
+	// Next bank: no queueing even at the same instant.
+	lat := m.Access(0, cfg.RowBytes, false)
+	if lat != cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst {
+		t.Errorf("parallel bank latency = %d", lat)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := Default()
+	m := MustNew(cfg)
+	m.Access(0, 0, false)
+	s := m.Stats()
+	want := cfg.EnergyPJPerBit*64*8 + cfg.RowActivatePJ
+	if s.EnergyPJ != want {
+		t.Errorf("energy = %v, want %v", s.EnergyPJ, want)
+	}
+	m.Access(100, 64, true)
+	s = m.Stats()
+	want += cfg.EnergyPJPerBit * 64 * 8 // row hit: no activate
+	if s.EnergyPJ != want {
+		t.Errorf("energy after hit = %v, want %v", s.EnergyPJ, want)
+	}
+	if s.Reads != 1 || s.Writes != 1 || s.Accesses() != 2 {
+		t.Errorf("counts: %+v", s)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := MustNew(Default())
+	m.Access(0, 0, false)
+	m.ResetStats()
+	if m.Stats().Accesses() != 0 {
+		t.Error("stats not reset")
+	}
+	if (Stats{}).RowHitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}

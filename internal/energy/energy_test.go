@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSRAMScalesWithSize(t *testing.T) {
+	small := SRAMAccessPJ(16 << 10)
+	if small != SRAMPJPerBit*64*8 {
+		t.Errorf("16KB access = %v", small)
+	}
+	if SRAMAccessPJ(8<<10) != small {
+		t.Error("below-reference sizes should clamp to base")
+	}
+	big := SRAMAccessPJ(2 << 20)
+	if big <= small {
+		t.Error("2MB access should cost more than 16KB")
+	}
+	// sqrt scaling: 128x capacity -> ~11.3x energy.
+	if ratio := big / small; math.Abs(ratio-math.Sqrt(128)) > 0.01 {
+		t.Errorf("scaling ratio = %v, want ~%v", ratio, math.Sqrt(128))
+	}
+}
+
+func TestDRAMFarExceedsSRAM(t *testing.T) {
+	// The paper's motivation: DRAM transfers cost several hundred
+	// times an SRAM access.
+	if ratio := DRAMAccessPJ() / SRAMAccessPJ(16<<10); ratio < 100 {
+		t.Errorf("DRAM/SRAM ratio = %v, want >> 100", ratio)
+	}
+}
+
+func TestAccount(t *testing.T) {
+	var a Account
+	a.AddInstructions(1000)
+	a.AddSRAM(16<<10, 10)
+	a.AddDRAMPJ(5000)
+	wantCore := float64(CorePJPerInstr * 1000)
+	wantSRAM := SRAMAccessPJ(16<<10) * 10
+	if a.CorePJ != wantCore || a.SRAMPJ != wantSRAM || a.DRAMPJ != 5000 {
+		t.Errorf("account: %+v", a)
+	}
+	if a.TotalPJ() != wantCore+wantSRAM+5000 {
+		t.Errorf("total = %v", a.TotalPJ())
+	}
+}
+
+func TestED2(t *testing.T) {
+	if got := ED2(2, 10); got != 200 {
+		t.Errorf("ED2 = %v, want 200", got)
+	}
+	// Doubling delay quadruples ED2.
+	if ED2(1, 20) != 4*ED2(1, 10) {
+		t.Error("ED2 not quadratic in delay")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if Normalized(10, 5) != 2 {
+		t.Error("normalization wrong")
+	}
+	if Normalized(10, 0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	var a Account
+	a.AddSRAMLeakage(1024, 1000) // 1KB for 1000 cycles
+	if a.SRAMPJ != SRAMLeakagePJPerKBPerKCycle {
+		t.Errorf("leakage = %v, want %v", a.SRAMPJ, SRAMLeakagePJPerKBPerKCycle)
+	}
+	// Leakage scales linearly in both size and time.
+	var b Account
+	b.AddSRAMLeakage(2048, 2000)
+	if b.SRAMPJ != 4*a.SRAMPJ {
+		t.Errorf("leakage scaling: %v vs %v", b.SRAMPJ, a.SRAMPJ)
+	}
+}

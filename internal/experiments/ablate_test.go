@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/metacache"
+)
+
+func TestAblatePartial(t *testing.T) {
+	opt := Options{Instructions: 1_500_000, Benchmarks: []string{"lbm", "fft"}, Parallelism: 4}
+	r, err := AblatePartial(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r.Benchmarks {
+		h := r.HashReadsPKI[b]
+		// Partial writes can only reduce (or match) hash fetch
+		// traffic: write misses stop fetching, and the fill read at
+		// eviction costs at most what the fetch would have.
+		if h[1] > h[0]*1.02 {
+			t.Errorf("%s: partial writes increased hash reads: %.2f -> %.2f", b, h[0], h[1])
+		}
+	}
+	// Write-heavy lbm must show actual savings.
+	lbm := r.HashReadsPKI["lbm"]
+	if lbm[1] >= lbm[0] {
+		t.Errorf("lbm: expected hash-read savings, got %.2f -> %.2f", lbm[0], lbm[1])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "hash reads/KI") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestContentMatrix(t *testing.T) {
+	opt := Options{Instructions: 200_000, Benchmarks: []string{"libquantum", "canneal"}, Parallelism: 4}
+	r, err := ContentMatrix(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 7 {
+		t.Fatalf("expected 7 content combinations, have %d", len(r.Contents))
+	}
+	// The paper's trend: caching all types is at or near the traffic
+	// minimum everywhere (within 25% of the best single policy — the
+	// adaptivity argument), and strictly best for cache-friendly
+	// metadata footprints like libquantum's.
+	for _, b := range r.Benchmarks {
+		all := r.MemPKI[b][metacache.AllTypes]
+		best := all
+		for _, c := range r.Contents {
+			if v := r.MemPKI[b][c]; v < best {
+				best = v
+			}
+		}
+		if all > best*1.25 {
+			t.Errorf("%s: all-types traffic %.1f far from best %.1f", b, all, best)
+		}
+	}
+	lq := r.MemPKI["libquantum"]
+	for _, c := range r.Contents {
+		if lq[metacache.AllTypes] > lq[c]*1.02 {
+			t.Errorf("libquantum: all-types %.1f exceeds %s's %.1f", lq[metacache.AllTypes], c, lq[c])
+		}
+	}
+	if !strings.Contains(r.Render(), "counters+tree") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestOrgCompare(t *testing.T) {
+	opt := Options{Instructions: 200_000, Benchmarks: []string{"libquantum", "leslie3d"}, Parallelism: 4}
+	r, err := OrgCompare(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r.Benchmarks {
+		c := r.CounterMPKI[b]
+		if c[1] < c[0] {
+			t.Errorf("%s: SGX counter MPKI %.2f should be >= PI's %.2f (8x less coverage)", b, c[1], c[0])
+		}
+	}
+	if r.TreeLevels[1] <= r.TreeLevels[0] {
+		t.Errorf("SGX tree (%d levels) should be deeper than PI (%d)", r.TreeLevels[1], r.TreeLevels[0])
+	}
+	if !strings.Contains(r.Render(), "SGX") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCSOPTStudy(t *testing.T) {
+	opt := Options{Instructions: 60_000, Benchmarks: []string{"perlbench", "canneal"}, Parallelism: 2}
+	r, err := CSOPT(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TraceLen == 0 || r.OptimalMiss == 0 {
+		t.Errorf("degenerate solve: %+v", r)
+	}
+	// The optimal solve can't miss more often than the trace has
+	// accesses, and the schedule must be nontrivial.
+	if r.OptimalMiss > uint64(r.TraceLen) {
+		t.Errorf("optimal misses %d exceed trace length %d", r.OptimalMiss, r.TraceLen)
+	}
+	if r.OptimalCost < r.OptimalMiss {
+		t.Errorf("cost %d below miss count %d", r.OptimalCost, r.OptimalMiss)
+	}
+	if r.PeakStates < 2 {
+		t.Errorf("peak states = %d, solver never branched", r.PeakStates)
+	}
+	// The live replay must have diverged: tree accesses depend on
+	// cache state.
+	if r.Diverged == 0 {
+		t.Error("live replay never diverged from the schedule")
+	}
+	if !r.Exploded {
+		t.Error("memory-intensive benchmark did not overflow the state budget")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "state explosion") || !strings.Contains(out, "diverged") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSpecWindow(t *testing.T) {
+	opt := Options{Instructions: 250_000, Benchmarks: []string{"canneal"}, Parallelism: 4}
+	r, err := SpecWindow(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded window is the baseline: slowdown exactly 1.
+	if got := r.Slowdown["canneal"][0][0]; got != 1 {
+		t.Errorf("unbounded slowdown = %v", got)
+	}
+	// With no metadata cache, a tight window must cost cycles and
+	// stall a large share of reads.
+	tight := r.Slowdown["canneal"][100][0]
+	if tight <= 1.0 {
+		t.Errorf("tight window with no cache: slowdown = %v, want > 1", tight)
+	}
+	if r.StallShare["canneal"][100][0] < 0.5 {
+		t.Errorf("stall share = %v, want most reads stalled", r.StallShare["canneal"][100][0])
+	}
+	// A metadata cache shortens verification: the same window hurts
+	// less.
+	cached := r.Slowdown["canneal"][100][64<<10]
+	if cached >= tight {
+		t.Errorf("64KB cache under tight window (%v) should beat no cache (%v)", cached, tight)
+	}
+	if !strings.Contains(r.Render(), "unbounded") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTreeStretch(t *testing.T) {
+	opt := Options{Instructions: 300_000, Benchmarks: []string{"canneal"}, Parallelism: 2}
+	r, err := TreeStretch(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The metadata cache filters tree requests: fewer per KI.
+	no := r.TreeAccessesPKI["canneal"]["nocache"]
+	yes := r.TreeAccessesPKI["canneal"]["cached"]
+	if yes >= no {
+		t.Errorf("cached tree req/KI %v should be below nocache %v", yes, no)
+	}
+	// Surviving requests have longer reuse distances: the cached CDF
+	// sits at or below the nocache CDF at short thresholds.
+	i4k := 1 // ReuseThresholds[1] == 4KB
+	if r.CDF["canneal"]["cached"][i4k] > r.CDF["canneal"]["nocache"][i4k]+0.02 {
+		t.Errorf("cached tree CDF@4KB %v exceeds nocache %v — distances should stretch",
+			r.CDF["canneal"]["cached"][i4k], r.CDF["canneal"]["nocache"][i4k])
+	}
+	if !strings.Contains(r.Render(), "nocache") {
+		t.Error("render incomplete")
+	}
+}

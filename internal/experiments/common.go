@@ -1,0 +1,98 @@
+// Package experiments reproduces every table and figure of MAPS
+// (ISPASS 2018). Each ExperimentN function runs the required
+// simulation sweep and returns a structured result with a Render
+// method that prints the same rows/series the paper plots.
+// DESIGN.md §4 maps experiments to modules and expected shapes.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/maps-sim/mapsim/internal/sim"
+)
+
+// Options tunes an experiment sweep.
+type Options struct {
+	// Instructions per simulation (default 2M; tests use far less).
+	Instructions uint64
+	// Benchmarks overrides the experiment's default benchmark list.
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations (default NumCPU).
+	Parallelism int
+}
+
+func (o *Options) fill() {
+	if o.Instructions == 0 {
+		o.Instructions = 2_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+}
+
+func (o *Options) benchmarks(def []string) []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return def
+}
+
+// job is one simulation plus a slot to deliver its result.
+type job struct {
+	cfg sim.Config
+	out **sim.Result
+}
+
+// runAll executes jobs with bounded parallelism, failing fast on the
+// first error. Configs must not share mutable state (pass benchmarks
+// by name so each run builds private generators; taps must be
+// per-job).
+func runAll(jobs []job, parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j *job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := sim.Run(j.cfg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: %s: %w", j.cfg.Benchmark, err)
+				}
+				mu.Unlock()
+				return
+			}
+			*j.out = res
+		}(&jobs[i])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// sizeLabel prints capacities the way the paper's axes do.
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%dKB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}
+
+// MetaSizes are the metadata-cache capacities swept in Figures 1-2.
+var MetaSizes = []int{16 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+
+// LLCSizes are the last-level cache capacities swept in Figure 2.
+var LLCSizes = []int{512 << 10, 1 << 20, 2 << 20, 4 << 20}

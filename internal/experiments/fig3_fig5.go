@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/reuse"
+	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/trace"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// ReuseThresholds are the byte distances at which the Figure 3/5 CDFs
+// are sampled.
+var ReuseThresholds = []uint64{
+	512, 4 << 10, 32 << 10, 288 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// WorkingSetMarker is the paper's 288 KB vertical line: nine metadata
+// blocks per 4 KB page covering a 2 MB LLC.
+const WorkingSetMarker = 288 << 10
+
+// reuseRun runs one benchmark with no metadata cache and feeds every
+// metadata access into a fresh analyzer.
+func reuseRun(bench string, instructions uint64) (*reuse.Analyzer, error) {
+	an := reuse.NewAnalyzer(int(instructions / 2))
+	_, err := sim.Run(sim.Config{
+		Benchmark:    bench,
+		Instructions: instructions,
+		Secure:       true,
+		Speculation:  true,
+		Tap: func(a trace.Access) {
+			an.Record(a.Addr, memlayout.Kind(a.Class), a.Write)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// reuseSweep runs reuseRun for each benchmark with bounded
+// parallelism.
+func reuseSweep(benches []string, opt Options) (map[string]*reuse.Analyzer, error) {
+	type res struct {
+		bench string
+		an    *reuse.Analyzer
+		err   error
+	}
+	out := make(chan res, len(benches))
+	sem := make(chan struct{}, opt.Parallelism)
+	for _, b := range benches {
+		go func(b string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			an, err := reuseRun(b, opt.Instructions)
+			out <- res{b, an, err}
+		}(b)
+	}
+	analyzers := map[string]*reuse.Analyzer{}
+	for range benches {
+		r := <-out
+		if r.err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.bench, r.err)
+		}
+		analyzers[r.bench] = r.an
+	}
+	return analyzers, nil
+}
+
+// Fig3Result holds per-benchmark, per-kind reuse CDFs.
+type Fig3Result struct {
+	Benchmarks []string
+	Thresholds []uint64
+	// CDF[benchmark][kind][i] corresponds to Thresholds[i].
+	CDF map[string]map[memlayout.Kind][]float64
+}
+
+// Fig3 reproduces Figure 3: the reuse-distance CDF of each metadata
+// type under a 2 MB LLC with no metadata cache, for the six
+// representative benchmarks.
+func Fig3(opt Options) (*Fig3Result, error) {
+	opt.fill()
+	benches := opt.benchmarks(workload.Representative())
+	analyzers, err := reuseSweep(benches, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Benchmarks: benches, Thresholds: ReuseThresholds, CDF: map[string]map[memlayout.Kind][]float64{}}
+	for b, an := range analyzers {
+		m := map[memlayout.Kind][]float64{}
+		for _, k := range memlayout.MetaKinds {
+			m[k] = an.CDF(k, ReuseThresholds)
+		}
+		res.CDF[b] = m
+	}
+	return res, nil
+}
+
+// Render prints one CDF table per benchmark with the 288 KB marker
+// column flagged.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: reuse-distance CDF by metadata type (2MB LLC, no metadata cache)\n\n")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(&sb, "%s:\n", b)
+		var t stats.Table
+		header := []string{"type"}
+		for _, th := range r.Thresholds {
+			l := sizeLabel(int(th))
+			if th == WorkingSetMarker {
+				l += "*"
+			}
+			header = append(header, l)
+		}
+		t.AddRow(header...)
+		for _, k := range memlayout.MetaKinds {
+			row := []string{k.String()}
+			for i := range r.Thresholds {
+				row = append(row, fmt.Sprintf("%.2f", r.CDF[b][k][i]))
+			}
+			t.AddRow(row...)
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("(* = 288KB: 9 metadata blocks per page x 2MB LLC working set)\n")
+	return sb.String()
+}
+
+// Fig4Result holds the four-class reuse breakdown per benchmark.
+type Fig4Result struct {
+	Benchmarks []string
+	// Classes[benchmark] are fractions of all metadata accesses in
+	// {<=8KB, 8-16KB, 16-32KB, >32KB}.
+	Classes map[string][4]float64
+	// Bimodality[benchmark] = mass in the two extreme classes.
+	Bimodality map[string]float64
+}
+
+// Fig4 reproduces Figure 4: classification of metadata accesses into
+// the paper's four reuse-distance classes, showing the bimodal shape.
+func Fig4(opt Options) (*Fig4Result, error) {
+	opt.fill()
+	benches := opt.benchmarks(workload.Names())
+	analyzers, err := reuseSweep(benches, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Benchmarks: benches, Classes: map[string][4]float64{}, Bimodality: map[string]float64{}}
+	for b, an := range analyzers {
+		var combined [4]float64
+		var total float64
+		for _, k := range memlayout.MetaKinds {
+			classes := an.Classes(k)
+			w := float64(an.Accesses(k))
+			for i := range combined {
+				combined[i] += classes[i] * w
+			}
+			total += w
+		}
+		if total > 0 {
+			for i := range combined {
+				combined[i] /= total
+			}
+		}
+		res.Classes[b] = combined
+		res.Bimodality[b] = combined[0] + combined[3]
+	}
+	return res, nil
+}
+
+// Render prints the class breakdown per benchmark.
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: metadata accesses by reuse-distance class\n\n")
+	var t stats.Table
+	t.AddRow("benchmark", reuse.ClassLabels[0], reuse.ClassLabels[1], reuse.ClassLabels[2], reuse.ClassLabels[3], "bimodality")
+	for _, b := range r.Benchmarks {
+		c := r.Classes[b]
+		t.AddRow(b,
+			fmt.Sprintf("%.2f", c[0]), fmt.Sprintf("%.2f", c[1]),
+			fmt.Sprintf("%.2f", c[2]), fmt.Sprintf("%.2f", c[3]),
+			fmt.Sprintf("%.2f", r.Bimodality[b]))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Fig5Result holds reuse CDFs split by request-type transition and
+// metadata type.
+type Fig5Result struct {
+	Benchmarks []string
+	Thresholds []uint64
+	// CDF[benchmark][kind][transition][i]
+	CDF map[string]map[memlayout.Kind]map[reuse.Transition][]float64
+	// Counts[benchmark][kind][transition]
+	Counts map[string]map[memlayout.Kind]map[reuse.Transition]uint64
+}
+
+// Fig5 reproduces Figure 5: reuse-distance CDFs split by request and
+// metadata type for the two most write-heavy memory-intensive
+// benchmarks (fft at 20% writes, leslie3d at 5%).
+func Fig5(opt Options) (*Fig5Result, error) {
+	opt.fill()
+	benches := opt.benchmarks([]string{"fft", "leslie3d"})
+	analyzers, err := reuseSweep(benches, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		Benchmarks: benches,
+		Thresholds: ReuseThresholds,
+		CDF:        map[string]map[memlayout.Kind]map[reuse.Transition][]float64{},
+		Counts:     map[string]map[memlayout.Kind]map[reuse.Transition]uint64{},
+	}
+	for b, an := range analyzers {
+		kinds := map[memlayout.Kind]map[reuse.Transition][]float64{}
+		counts := map[memlayout.Kind]map[reuse.Transition]uint64{}
+		for _, k := range memlayout.MetaKinds {
+			kinds[k] = map[reuse.Transition][]float64{}
+			counts[k] = map[reuse.Transition]uint64{}
+			for _, tr := range reuse.Transitions {
+				kinds[k][tr] = an.TransitionCDF(k, tr, ReuseThresholds)
+				counts[k][tr] = an.TransitionCount(k, tr)
+			}
+		}
+		res.CDF[b] = kinds
+		res.Counts[b] = counts
+	}
+	return res, nil
+}
+
+// Render prints per-benchmark tables of transition CDFs.
+func (r *Fig5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: reuse-distance CDF by request and metadata type\n\n")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(&sb, "%s:\n", b)
+		var t stats.Table
+		header := []string{"type", "transition", "n"}
+		for _, th := range r.Thresholds {
+			header = append(header, sizeLabel(int(th)))
+		}
+		t.AddRow(header...)
+		for _, k := range memlayout.MetaKinds {
+			for _, tr := range reuse.Transitions {
+				n := r.Counts[b][k][tr]
+				if n == 0 {
+					continue
+				}
+				row := []string{k.String(), tr.String(), fmt.Sprintf("%d", n)}
+				for i := range r.Thresholds {
+					row = append(row, fmt.Sprintf("%.2f", r.CDF[b][k][tr][i]))
+				}
+				t.AddRow(row...)
+			}
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

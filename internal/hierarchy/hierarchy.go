@@ -1,0 +1,198 @@
+// Package hierarchy models the processor's cache hierarchy (Table I:
+// 32 KB L1, 256 KB L2, 2 MB L3, all 8-way) and produces the LLC
+// miss/writeback stream that drives secure memory. Lower-level dirty
+// evictions cascade downward; LLC dirty evictions surface to the
+// caller as memory writebacks.
+package hierarchy
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+)
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Hit levels. Memory means the access missed everywhere.
+const (
+	L1 Level = iota + 1
+	L2
+	L3
+	Memory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config sets the geometry. The zero value is replaced by Table I's
+// configuration via Default.
+type Config struct {
+	L1Size, L1Ways int
+	L2Size, L2Ways int
+	L3Size, L3Ways int
+}
+
+// Default returns the paper's Table I hierarchy.
+func Default() Config {
+	return Config{
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		L3Size: 2 << 20, L3Ways: 8,
+	}
+}
+
+// Outcome reports one access's journey.
+type Outcome struct {
+	// Hit is the level that supplied the data.
+	Hit Level
+	// Writebacks lists dirty blocks evicted from the LLC to memory
+	// as a consequence of this access (at most a handful).
+	Writebacks []uint64
+}
+
+// Hierarchy is a three-level, write-back, write-allocate,
+// non-inclusive cache stack using true LRU at every level.
+type Hierarchy struct {
+	l1, l2, l3 *cache.Cache
+	// scratch avoids an allocation per access.
+	scratch []uint64
+}
+
+// New builds a hierarchy. Each level must satisfy the cache package's
+// geometry rules.
+func New(cfg Config) (*Hierarchy, error) {
+	l1, err := cache.New(cfg.L1Size, cfg.L1Ways, policy.NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: L1: %w", err)
+	}
+	l2, err := cache.New(cfg.L2Size, cfg.L2Ways, policy.NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: L2: %w", err)
+	}
+	l3, err := cache.New(cfg.L3Size, cfg.L3Ways, policy.NewLRU())
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: L3: %w", err)
+	}
+	return &Hierarchy{l1: l1, l2: l2, l3: l3}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// L1Stats, L2Stats and L3Stats expose per-level counters.
+func (h *Hierarchy) L1Stats() cache.Stats { return h.l1.Stats() }
+
+// L2Stats returns the second-level counters.
+func (h *Hierarchy) L2Stats() cache.Stats { return h.l2.Stats() }
+
+// L3Stats returns the last-level counters.
+func (h *Hierarchy) L3Stats() cache.Stats { return h.l3.Stats() }
+
+// ResetStats zeroes all levels' counters (contents persist), for
+// post-warmup measurement.
+func (h *Hierarchy) ResetStats() {
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+	h.l3.ResetStats()
+}
+
+// LLCSize reports the last-level capacity in bytes.
+func (h *Hierarchy) LLCSize() int { return h.l3.SizeBytes() }
+
+// Access runs one data reference through the hierarchy. The returned
+// Outcome's Writebacks slice is reused across calls; callers must
+// consume it before the next Access.
+func (h *Hierarchy) Access(addr uint64, write bool) Outcome {
+	h.scratch = h.scratch[:0]
+	out := Outcome{}
+
+	r1 := h.l1.Access(addr, write, cache.WholeBlock)
+	if r1.Evicted.Valid && r1.Evicted.Dirty {
+		h.writeLower(h.l2, r1.Evicted.Addr)
+	}
+	if r1.Hit {
+		out.Hit = L1
+		out.Writebacks = h.scratch
+		return out
+	}
+
+	r2 := h.l2.Access(addr, false, cache.WholeBlock)
+	if r2.Evicted.Valid && r2.Evicted.Dirty {
+		h.writeLower(h.l3, r2.Evicted.Addr)
+	}
+	if r2.Hit {
+		out.Hit = L2
+		out.Writebacks = h.scratch
+		return out
+	}
+
+	r3 := h.l3.Access(addr, false, cache.WholeBlock)
+	if r3.Evicted.Valid && r3.Evicted.Dirty {
+		h.scratch = append(h.scratch, r3.Evicted.Addr)
+	}
+	if r3.Hit {
+		out.Hit = L3
+	} else {
+		out.Hit = Memory
+	}
+	out.Writebacks = h.scratch
+	return out
+}
+
+// writeLower installs a dirty block evicted from an upper level into
+// the next level down, cascading further evictions. Writes into the
+// LLC may push dirty blocks to memory.
+func (h *Hierarchy) writeLower(c *cache.Cache, addr uint64) {
+	r := c.Access(addr, true, cache.WholeBlock)
+	if !r.Evicted.Valid || !r.Evicted.Dirty {
+		return
+	}
+	if c == h.l2 {
+		h.writeLower(h.l3, r.Evicted.Addr)
+		return
+	}
+	h.scratch = append(h.scratch, r.Evicted.Addr)
+}
+
+// FlushWritebacks drains every dirty line in the hierarchy to memory
+// addresses, used at simulation end so writeback accounting balances.
+func (h *Hierarchy) FlushWritebacks() []uint64 {
+	var out []uint64
+	for _, l := range h.l1.Flush() {
+		if l.Dirty {
+			out = append(out, l.Addr)
+		}
+	}
+	for _, l := range h.l2.Flush() {
+		if l.Dirty {
+			out = append(out, l.Addr)
+		}
+	}
+	for _, l := range h.l3.Flush() {
+		if l.Dirty {
+			out = append(out, l.Addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package memlayout
+
+import "testing"
+
+// FuzzClassifyRoundTrip checks that every in-range block address
+// classifies without panicking and that metadata addresses derived
+// from data addresses classify to the expected kinds.
+func FuzzClassifyRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(4096), uint8(1))
+	f.Add(uint64(1<<20-64), uint8(0))
+	layouts := []*Layout{
+		MustNew(PoisonIvy, 8<<20),
+		MustNew(SGX, 8<<20),
+	}
+	f.Fuzz(func(t *testing.T, raw uint64, which uint8) {
+		l := layouts[int(which)%len(layouts)]
+		addr := BlockOf(raw % l.TotalBytes())
+		kind, level := l.Classify(addr)
+		switch kind {
+		case KindData:
+			c := l.CounterAddr(addr)
+			if k, _ := l.Classify(c); k != KindCounter {
+				t.Fatalf("counter addr %#x classifies as %v", c, k)
+			}
+			h := l.HashAddr(addr)
+			if k, _ := l.Classify(h); k != KindHash {
+				t.Fatalf("hash addr %#x classifies as %v", h, k)
+			}
+		case KindCounter, KindTree:
+			// Parents chain to the root without panicking.
+			node := addr
+			for i := 0; i < l.TreeLevels()+2; i++ {
+				parent := l.Parent(node)
+				if parent == RootAddr {
+					return
+				}
+				if k, lev := l.Classify(parent); k != KindTree || lev < 0 {
+					t.Fatalf("parent %#x classifies as %v/%d", parent, k, lev)
+				}
+				node = parent
+			}
+			t.Fatalf("parent chain from %#x (level %d) did not reach the root", addr, level)
+		case KindHash:
+			// Hash blocks have no parents; nothing more to check.
+		}
+	})
+}

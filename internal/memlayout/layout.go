@@ -1,0 +1,397 @@
+// Package memlayout defines the physical layout of a secure memory:
+// where data, encryption counters, data hashes, and integrity-tree
+// nodes live, and how a data address maps to the metadata that
+// protects it.
+//
+// The layout follows the organizations studied by MAPS (ISPASS 2018):
+//
+//   - PoisonIvy (PI): split counters — one 8 B per-page counter plus
+//     sixty-four 7 b per-block counters packed into a single 64 B
+//     counter block, so one counter block protects a whole 4 KB page.
+//   - SGX: monolithic counters — eight 8 B per-block counters per
+//     64 B counter block, so one counter block protects 512 B.
+//
+// In both organizations an 8-ary Bonsai Merkle Tree of 8 B HMACs is
+// built over the counter region, the root is kept on chip, and one
+// 8 B HMAC per 64 B data block (eight per hash block) protects data
+// integrity.
+package memlayout
+
+import (
+	"fmt"
+)
+
+// Fundamental geometry constants shared by both organizations.
+const (
+	// BlockSize is the transfer granularity to the memory controller
+	// and the unit in which all metadata is grouped.
+	BlockSize = 64
+	// PageSize is the OS page size used by the split-counter scheme.
+	PageSize = 4096
+	// BlocksPerPage is the number of 64 B data blocks in a 4 KB page.
+	BlocksPerPage = PageSize / BlockSize
+	// HashSize is the size of one truncated HMAC.
+	HashSize = 8
+	// HashesPerBlock is the number of 8 B HMACs in one 64 B block.
+	HashesPerBlock = BlockSize / HashSize
+	// TreeArity is the fan-out of the Bonsai Merkle Tree: each tree
+	// node holds eight 8 B HMACs, one per child block.
+	TreeArity = HashesPerBlock
+)
+
+// Organization selects the counter scheme.
+type Organization int
+
+const (
+	// PoisonIvy uses split per-page/per-block counters: one 64 B
+	// counter block per 4 KB page.
+	PoisonIvy Organization = iota
+	// SGX uses one 8 B counter per 64 B data block: one 64 B counter
+	// block per 512 B of data.
+	SGX
+)
+
+// String returns the organization name as used in the paper.
+func (o Organization) String() string {
+	switch o {
+	case PoisonIvy:
+		return "PI"
+	case SGX:
+		return "SGX"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// CounterCoverage returns the bytes of data protected by one 64 B
+// counter block under this organization (Table II, "Counters" row).
+func (o Organization) CounterCoverage() uint64 {
+	switch o {
+	case SGX:
+		return HashesPerBlock * BlockSize // 512 B
+	default:
+		return PageSize // 4 KB
+	}
+}
+
+// Kind classifies a physical block address.
+type Kind uint8
+
+const (
+	// KindData is an application data block.
+	KindData Kind = iota
+	// KindCounter is an encryption-counter block.
+	KindCounter
+	// KindHash is a data-integrity HMAC block.
+	KindHash
+	// KindTree is a Bonsai Merkle Tree node (any level).
+	KindTree
+)
+
+// String returns a short lower-case name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCounter:
+		return "counter"
+	case KindHash:
+		return "hash"
+	case KindTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MetaKinds lists the metadata kinds in a stable order, for reports.
+var MetaKinds = []Kind{KindCounter, KindHash, KindTree}
+
+// Addr is a physical byte address in the simulated memory. Block
+// addresses are always BlockSize-aligned.
+type Addr = uint64
+
+// RootAddr is the sentinel address of the on-chip tree root. It is
+// never stored in memory and never cached: it is always available.
+const RootAddr Addr = ^Addr(0)
+
+// Layout is the physical memory map for one secure-memory
+// configuration. The address space is laid out as
+//
+//	[ data | counters | hashes | tree level 0 (leaves) | level 1 | ... ]
+//
+// with the topmost tree level having TreeArity or fewer blocks, whose
+// digest is the on-chip root.
+type Layout struct {
+	org       Organization
+	dataBytes uint64
+
+	dataBlocks    uint64
+	counterBlocks uint64
+	hashBlocks    uint64
+
+	counterOff uint64
+	hashOff    uint64
+	treeOff    []uint64 // per level, leaf = 0
+	levelCount []uint64 // blocks per level
+	totalBytes uint64
+}
+
+// New builds a layout covering dataBytes of protected data.
+// dataBytes must be a positive multiple of PageSize.
+func New(org Organization, dataBytes uint64) (*Layout, error) {
+	if dataBytes == 0 {
+		return nil, fmt.Errorf("memlayout: data size must be positive")
+	}
+	if dataBytes%PageSize != 0 {
+		return nil, fmt.Errorf("memlayout: data size %d is not a multiple of the %d B page size", dataBytes, PageSize)
+	}
+	l := &Layout{org: org, dataBytes: dataBytes}
+	l.dataBlocks = dataBytes / BlockSize
+	l.counterBlocks = dataBytes / org.CounterCoverage()
+	l.hashBlocks = ceilDiv(l.dataBlocks, HashesPerBlock)
+
+	l.counterOff = dataBytes
+	l.hashOff = l.counterOff + l.counterBlocks*BlockSize
+	off := l.hashOff + l.hashBlocks*BlockSize
+
+	// Build tree levels bottom-up over the counter blocks. Level 0
+	// holds one 8 B HMAC per counter block. We stop once a level fits
+	// in TreeArity blocks or fewer; the on-chip root covers that
+	// level directly.
+	children := l.counterBlocks
+	for {
+		blocks := ceilDiv(children, TreeArity)
+		l.treeOff = append(l.treeOff, off)
+		l.levelCount = append(l.levelCount, blocks)
+		off += blocks * BlockSize
+		if blocks == 1 {
+			break
+		}
+		children = blocks
+	}
+	l.totalBytes = off
+	return l, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed configs.
+func MustNew(org Organization, dataBytes uint64) *Layout {
+	l, err := New(org, dataBytes)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// Organization reports the counter scheme of this layout.
+func (l *Layout) Organization() Organization { return l.org }
+
+// DataBytes reports the protected data capacity.
+func (l *Layout) DataBytes() uint64 { return l.dataBytes }
+
+// TotalBytes reports the full physical footprint: data plus all
+// metadata regions.
+func (l *Layout) TotalBytes() uint64 { return l.totalBytes }
+
+// MetadataBytes reports the space consumed by metadata alone.
+func (l *Layout) MetadataBytes() uint64 { return l.totalBytes - l.dataBytes }
+
+// CounterBlocks reports the number of 64 B counter blocks.
+func (l *Layout) CounterBlocks() uint64 { return l.counterBlocks }
+
+// HashBlocks reports the number of 64 B data-hash blocks.
+func (l *Layout) HashBlocks() uint64 { return l.hashBlocks }
+
+// TreeLevels reports the number of tree levels stored in memory
+// (level 0 = leaves). The root above the top level is on chip.
+func (l *Layout) TreeLevels() int { return len(l.treeOff) }
+
+// TreeLevelBlocks reports the number of node blocks at a level.
+func (l *Layout) TreeLevelBlocks(level int) uint64 { return l.levelCount[level] }
+
+// BlockOf returns the block-aligned address containing addr.
+func BlockOf(addr Addr) Addr { return addr &^ (BlockSize - 1) }
+
+// PageOf returns the page-aligned address containing addr.
+func PageOf(addr Addr) Addr { return addr &^ (PageSize - 1) }
+
+// Contains reports whether addr falls inside the data region.
+func (l *Layout) Contains(addr Addr) bool { return addr < l.dataBytes }
+
+// CounterAddr returns the address of the counter block protecting the
+// data block at dataAddr.
+func (l *Layout) CounterAddr(dataAddr Addr) Addr {
+	l.checkData(dataAddr)
+	idx := dataAddr / l.org.CounterCoverage()
+	return l.counterOff + idx*BlockSize
+}
+
+// HashAddr returns the address of the hash block holding the data
+// HMAC for the data block at dataAddr.
+func (l *Layout) HashAddr(dataAddr Addr) Addr {
+	l.checkData(dataAddr)
+	idx := dataAddr / (HashesPerBlock * BlockSize)
+	return l.hashOff + idx*BlockSize
+}
+
+// HashSlot returns the 0..7 index of dataAddr's HMAC within its hash
+// block.
+func (l *Layout) HashSlot(dataAddr Addr) int {
+	return int(dataAddr / BlockSize % HashesPerBlock)
+}
+
+// CounterSlot returns the index of dataAddr's counter within its
+// counter block: the per-block minor counter index for PoisonIvy
+// (0..63) or the 8 B counter index for SGX (0..7).
+func (l *Layout) CounterSlot(dataAddr Addr) int {
+	if l.org == SGX {
+		return int(dataAddr / BlockSize % HashesPerBlock)
+	}
+	return int(dataAddr / BlockSize % BlocksPerPage)
+}
+
+// TreeAddr returns the address of tree node idx at the given level.
+func (l *Layout) TreeAddr(level int, idx uint64) Addr {
+	if level < 0 || level >= len(l.treeOff) {
+		panic(fmt.Sprintf("memlayout: tree level %d out of range [0,%d)", level, len(l.treeOff)))
+	}
+	if idx >= l.levelCount[level] {
+		panic(fmt.Sprintf("memlayout: tree index %d out of range at level %d (have %d)", idx, level, l.levelCount[level]))
+	}
+	return l.treeOff[level] + idx*BlockSize
+}
+
+// TreeLeafFor returns the address of the level-0 tree node whose
+// HMACs cover the given counter block.
+func (l *Layout) TreeLeafFor(counterAddr Addr) Addr {
+	idx, ok := l.counterIndex(counterAddr)
+	if !ok {
+		panic(fmt.Sprintf("memlayout: %#x is not a counter block address", counterAddr))
+	}
+	return l.TreeAddr(0, idx/TreeArity)
+}
+
+// Parent returns the tree node (or RootAddr) that holds the HMAC
+// protecting the given counter or tree block.
+func (l *Layout) Parent(addr Addr) Addr {
+	if idx, ok := l.counterIndex(addr); ok {
+		return l.TreeAddr(0, idx/TreeArity)
+	}
+	level, idx, ok := l.treeIndex(addr)
+	if !ok {
+		panic(fmt.Sprintf("memlayout: %#x has no tree parent", addr))
+	}
+	if level == len(l.treeOff)-1 {
+		return RootAddr
+	}
+	return l.TreeAddr(level+1, idx/TreeArity)
+}
+
+// ChildSlot returns which of its parent's HashesPerBlock HMAC slots
+// protects the given counter or tree block.
+func (l *Layout) ChildSlot(addr Addr) int {
+	if idx, ok := l.counterIndex(addr); ok {
+		return int(idx % TreeArity)
+	}
+	_, idx, ok := l.treeIndex(addr)
+	if !ok {
+		panic(fmt.Sprintf("memlayout: %#x has no parent slot", addr))
+	}
+	return int(idx % TreeArity)
+}
+
+// VerifyChain returns the tree node addresses needed to verify the
+// given counter block, ordered leaf to top in-memory level. The
+// on-chip root (RootAddr) is not included.
+func (l *Layout) VerifyChain(counterAddr Addr) []Addr {
+	chain := make([]Addr, 0, len(l.treeOff))
+	node := l.Parent(counterAddr)
+	for node != RootAddr {
+		chain = append(chain, node)
+		node = l.Parent(node)
+	}
+	return chain
+}
+
+// Classify reports the kind of the block at addr and, for tree nodes,
+// its level.
+func (l *Layout) Classify(addr Addr) (kind Kind, level int) {
+	switch {
+	case addr < l.dataBytes:
+		return KindData, 0
+	case addr < l.hashOff:
+		return KindCounter, 0
+	case addr < l.treeOff[0]:
+		return KindHash, 0
+	default:
+		lev, _, ok := l.treeIndex(addr)
+		if !ok {
+			panic(fmt.Sprintf("memlayout: address %#x is outside the layout (total %d)", addr, l.totalBytes))
+		}
+		return KindTree, lev
+	}
+}
+
+// DataProtected returns the bytes of application data transitively
+// protected by one 64 B block of the given kind (Table II). For
+// KindTree, level 0 is the leaf level.
+func (l *Layout) DataProtected(kind Kind, level int) uint64 {
+	switch kind {
+	case KindData:
+		return BlockSize
+	case KindCounter:
+		return l.org.CounterCoverage()
+	case KindHash:
+		return HashesPerBlock * BlockSize
+	case KindTree:
+		cov := l.org.CounterCoverage() * TreeArity
+		for i := 0; i < level; i++ {
+			cov *= TreeArity
+		}
+		if cov > l.dataBytes {
+			cov = l.dataBytes
+		}
+		return cov
+	default:
+		panic(fmt.Sprintf("memlayout: unknown kind %v", kind))
+	}
+}
+
+// MetadataPerPage returns the number of metadata blocks (excluding
+// tree nodes) needed to cover one 4 KB data page: the basis of the
+// paper's 288 KB working-set marker for a 2 MB LLC.
+func (l *Layout) MetadataPerPage() uint64 {
+	counters := PageSize / l.org.CounterCoverage()
+	if counters == 0 {
+		counters = 1
+	}
+	hashes := uint64(PageSize / (HashesPerBlock * BlockSize))
+	return counters + hashes
+}
+
+func (l *Layout) checkData(addr Addr) {
+	if addr >= l.dataBytes {
+		panic(fmt.Sprintf("memlayout: data address %#x out of range (data size %d)", addr, l.dataBytes))
+	}
+}
+
+func (l *Layout) counterIndex(addr Addr) (uint64, bool) {
+	if addr < l.counterOff || addr >= l.hashOff {
+		return 0, false
+	}
+	return (addr - l.counterOff) / BlockSize, true
+}
+
+func (l *Layout) treeIndex(addr Addr) (level int, idx uint64, ok bool) {
+	if addr < l.treeOff[0] || addr >= l.totalBytes {
+		return 0, 0, false
+	}
+	for lev := len(l.treeOff) - 1; lev >= 0; lev-- {
+		if addr >= l.treeOff[lev] {
+			return lev, (addr - l.treeOff[lev]) / BlockSize, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,381 @@
+package memlayout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	if _, err := New(PoisonIvy, 0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := New(PoisonIvy, PageSize+1); err == nil {
+		t.Error("New(non-page-multiple) should fail")
+	}
+	if _, err := New(SGX, 100); err == nil {
+		t.Error("New(100) should fail")
+	}
+}
+
+func TestOrganizationString(t *testing.T) {
+	if PoisonIvy.String() != "PI" || SGX.String() != "SGX" {
+		t.Errorf("unexpected names: %q %q", PoisonIvy, SGX)
+	}
+	if Organization(9).String() == "" {
+		t.Error("unknown organization should still print")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindData: "data", KindCounter: "counter", KindHash: "hash", KindTree: "tree"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestPICounterCoversPage(t *testing.T) {
+	l := MustNew(PoisonIvy, 1<<20) // 1 MB
+	if got := l.CounterBlocks(); got != 1<<20/PageSize {
+		t.Fatalf("counter blocks = %d, want one per page (%d)", got, 1<<20/PageSize)
+	}
+	// Every data block in the same page shares one counter block.
+	base := Addr(5 * PageSize)
+	want := l.CounterAddr(base)
+	for b := uint64(0); b < BlocksPerPage; b++ {
+		if got := l.CounterAddr(base + b*BlockSize); got != want {
+			t.Fatalf("block %d of page maps to %#x, want %#x", b, got, want)
+		}
+	}
+	// The next page maps elsewhere.
+	if l.CounterAddr(base+PageSize) == want {
+		t.Error("next page should use a different counter block")
+	}
+}
+
+func TestSGXCounterCovers512B(t *testing.T) {
+	l := MustNew(SGX, 1<<20)
+	if got := l.CounterBlocks(); got != 1<<20/512 {
+		t.Fatalf("counter blocks = %d, want one per 512 B (%d)", got, 1<<20/512)
+	}
+	base := Addr(0)
+	want := l.CounterAddr(base)
+	for b := uint64(0); b < 8; b++ {
+		if got := l.CounterAddr(base + b*BlockSize); got != want {
+			t.Fatalf("block %d maps to %#x, want %#x", b, got, want)
+		}
+	}
+	if l.CounterAddr(base+512) == want {
+		t.Error("9th block should use a different counter block")
+	}
+}
+
+func TestHashMapping(t *testing.T) {
+	l := MustNew(PoisonIvy, 1<<20)
+	// Eight consecutive data blocks share a hash block; the ninth
+	// does not.
+	want := l.HashAddr(0)
+	for b := uint64(0); b < HashesPerBlock; b++ {
+		addr := b * BlockSize
+		if got := l.HashAddr(addr); got != want {
+			t.Fatalf("block %d hash at %#x, want %#x", b, got, want)
+		}
+		if got := l.HashSlot(addr); got != int(b) {
+			t.Fatalf("block %d hash slot = %d, want %d", b, got, b)
+		}
+	}
+	if l.HashAddr(HashesPerBlock*BlockSize) == want {
+		t.Error("9th block should use a different hash block")
+	}
+}
+
+func TestCounterSlot(t *testing.T) {
+	pi := MustNew(PoisonIvy, 1<<20)
+	sgx := MustNew(SGX, 1<<20)
+	if got := pi.CounterSlot(63 * BlockSize); got != 63 {
+		t.Errorf("PI slot of last block in page = %d, want 63", got)
+	}
+	if got := pi.CounterSlot(PageSize); got != 0 {
+		t.Errorf("PI slot of next page start = %d, want 0", got)
+	}
+	if got := sgx.CounterSlot(7 * BlockSize); got != 7 {
+		t.Errorf("SGX slot = %d, want 7", got)
+	}
+	if got := sgx.CounterSlot(8 * BlockSize); got != 0 {
+		t.Errorf("SGX slot after wrap = %d, want 0", got)
+	}
+}
+
+func TestRegionsDisjointAndOrdered(t *testing.T) {
+	for _, org := range []Organization{PoisonIvy, SGX} {
+		l := MustNew(org, 4<<20)
+		c := l.CounterAddr(0)
+		h := l.HashAddr(0)
+		tr := l.TreeAddr(0, 0)
+		if !(l.DataBytes() <= c && c < h && h < tr) {
+			t.Errorf("%v: regions out of order: data=%d counter=%#x hash=%#x tree=%#x", org, l.DataBytes(), c, h, tr)
+		}
+		if l.TotalBytes() <= l.DataBytes() {
+			t.Errorf("%v: no metadata space", org)
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	// 4 MB of PI data -> 1024 counter blocks -> 128 leaf nodes ->
+	// 16 -> 2 -> 1; four in-memory levels.
+	l := MustNew(PoisonIvy, 4<<20)
+	if got := l.TreeLevels(); got != 4 {
+		t.Fatalf("tree levels = %d, want 4", got)
+	}
+	wantBlocks := []uint64{128, 16, 2, 1}
+	for lev, want := range wantBlocks {
+		if got := l.TreeLevelBlocks(lev); got != want {
+			t.Errorf("level %d blocks = %d, want %d", lev, got, want)
+		}
+	}
+}
+
+func TestParentChainReachesRoot(t *testing.T) {
+	l := MustNew(PoisonIvy, 16<<20)
+	counter := l.CounterAddr(12345 * BlockSize)
+	chain := l.VerifyChain(counter)
+	if len(chain) != l.TreeLevels() {
+		t.Fatalf("chain length = %d, want %d", len(chain), l.TreeLevels())
+	}
+	// Levels must be strictly increasing and end below the root.
+	prevLevel := -1
+	for _, node := range chain {
+		kind, lev := l.Classify(node)
+		if kind != KindTree {
+			t.Fatalf("chain node %#x classified %v", node, kind)
+		}
+		if lev != prevLevel+1 {
+			t.Fatalf("chain level %d after %d", lev, prevLevel)
+		}
+		prevLevel = lev
+	}
+	if l.Parent(chain[len(chain)-1]) != RootAddr {
+		t.Error("top of chain should parent to on-chip root")
+	}
+}
+
+func TestChildSlot(t *testing.T) {
+	l := MustNew(PoisonIvy, 4<<20)
+	for i := uint64(0); i < 16; i++ {
+		c := l.CounterAddr(i * PageSize)
+		if got, want := l.ChildSlot(c), int(i%TreeArity); got != want {
+			t.Errorf("counter %d child slot = %d, want %d", i, got, want)
+		}
+	}
+	leaf := l.TreeAddr(0, 9)
+	if got := l.ChildSlot(leaf); got != 1 {
+		t.Errorf("leaf 9 child slot = %d, want 1", got)
+	}
+}
+
+func TestClassifyRoundTrip(t *testing.T) {
+	l := MustNew(SGX, 8<<20)
+	if k, _ := l.Classify(0); k != KindData {
+		t.Errorf("addr 0 = %v, want data", k)
+	}
+	if k, _ := l.Classify(l.CounterAddr(0)); k != KindCounter {
+		t.Errorf("counter addr = %v", k)
+	}
+	if k, _ := l.Classify(l.HashAddr(0)); k != KindHash {
+		t.Errorf("hash addr = %v", k)
+	}
+	for lev := 0; lev < l.TreeLevels(); lev++ {
+		k, gotLev := l.Classify(l.TreeAddr(lev, 0))
+		if k != KindTree || gotLev != lev {
+			t.Errorf("tree level %d classified (%v,%d)", lev, k, gotLev)
+		}
+	}
+}
+
+func TestDataProtectedTableII(t *testing.T) {
+	pi := MustNew(PoisonIvy, 64<<20)
+	sgx := MustNew(SGX, 64<<20)
+
+	if got := pi.DataProtected(KindCounter, 0); got != 4096 {
+		t.Errorf("PI counter coverage = %d, want 4096", got)
+	}
+	if got := sgx.DataProtected(KindCounter, 0); got != 512 {
+		t.Errorf("SGX counter coverage = %d, want 512", got)
+	}
+	for _, l := range []*Layout{pi, sgx} {
+		if got := l.DataProtected(KindHash, 0); got != 512 {
+			t.Errorf("%v hash coverage = %d, want 512", l.Organization(), got)
+		}
+	}
+	// Tree: PI leaves cover 4 KB * 8 = 32 KB; each level up x8.
+	if got := pi.DataProtected(KindTree, 0); got != 32<<10 {
+		t.Errorf("PI tree leaf coverage = %d, want 32 KB", got)
+	}
+	if got := pi.DataProtected(KindTree, 1); got != 256<<10 {
+		t.Errorf("PI tree L1 coverage = %d, want 256 KB", got)
+	}
+	if got := sgx.DataProtected(KindTree, 0); got != 4<<10 {
+		t.Errorf("SGX tree leaf coverage = %d, want 4 KB", got)
+	}
+	// Coverage saturates at the data size.
+	top := pi.TreeLevels() - 1
+	if got := pi.DataProtected(KindTree, top+3); got != pi.DataBytes() {
+		t.Errorf("coverage beyond root = %d, want clamped to %d", got, pi.DataBytes())
+	}
+	if got := pi.DataProtected(KindData, 0); got != BlockSize {
+		t.Errorf("data coverage = %d, want %d", got, BlockSize)
+	}
+}
+
+func TestMetadataPerPage(t *testing.T) {
+	// PI: 1 counter block + 8 hash blocks = 9 per 4 KB page (the
+	// paper's 288 KB-for-2MB-LLC marker).
+	pi := MustNew(PoisonIvy, 4<<20)
+	if got := pi.MetadataPerPage(); got != 9 {
+		t.Errorf("PI metadata per page = %d, want 9", got)
+	}
+	// SGX: 8 counter blocks + 8 hash blocks.
+	sgx := MustNew(SGX, 4<<20)
+	if got := sgx.MetadataPerPage(); got != 16 {
+		t.Errorf("SGX metadata per page = %d, want 16", got)
+	}
+}
+
+func TestMetadataOverheadFraction(t *testing.T) {
+	// PI metadata ~ 1/64 (counters) + 1/8 (hashes) + tree (~1/512)
+	// of data. Check within loose bounds.
+	l := MustNew(PoisonIvy, 64<<20)
+	frac := float64(l.MetadataBytes()) / float64(l.DataBytes())
+	if frac < 0.14 || frac > 0.15 {
+		t.Errorf("PI metadata fraction = %.4f, want ~0.143", frac)
+	}
+	// SGX: 1/8 counters + 1/8 hashes + tree.
+	s := MustNew(SGX, 64<<20)
+	sfrac := float64(s.MetadataBytes()) / float64(s.DataBytes())
+	if sfrac < 0.26 || sfrac > 0.28 {
+		t.Errorf("SGX metadata fraction = %.4f, want ~0.268", sfrac)
+	}
+}
+
+func TestBlockAndPageOf(t *testing.T) {
+	if got := BlockOf(127); got != 64 {
+		t.Errorf("BlockOf(127) = %d, want 64", got)
+	}
+	if got := PageOf(PageSize + 17); got != PageSize {
+		t.Errorf("PageOf = %d, want %d", got, PageSize)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	l := MustNew(PoisonIvy, 1<<20)
+	for name, fn := range map[string]func(){
+		"CounterAddr": func() { l.CounterAddr(l.DataBytes()) },
+		"HashAddr":    func() { l.HashAddr(l.DataBytes() + 64) },
+		"TreeAddr":    func() { l.TreeAddr(99, 0) },
+		"TreeIdx":     func() { l.TreeAddr(0, 1<<40) },
+		"Parent":      func() { l.Parent(0) }, // data has no tree parent
+		"Classify":    func() { l.Classify(l.TotalBytes()) },
+		"TreeLeafFor": func() { l.TreeLeafFor(0) },
+		"ChildSlot":   func() { l.ChildSlot(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every data block's metadata addresses classify back to the
+// right kinds and stay inside the layout.
+func TestPropertyMappingInRange(t *testing.T) {
+	l := MustNew(PoisonIvy, 32<<20)
+	f := func(raw uint64) bool {
+		addr := raw % l.DataBytes()
+		addr = BlockOf(addr)
+		c := l.CounterAddr(addr)
+		h := l.HashAddr(addr)
+		if k, _ := l.Classify(c); k != KindCounter {
+			return false
+		}
+		if k, _ := l.Classify(h); k != KindHash {
+			return false
+		}
+		for _, node := range l.VerifyChain(c) {
+			if k, _ := l.Classify(node); k != KindTree {
+				return false
+			}
+			if node >= l.TotalBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parent coverage strictly contains child coverage until the
+// clamp; tree levels protect 8x more data each step.
+func TestPropertyTreeCoverageMonotonic(t *testing.T) {
+	for _, org := range []Organization{PoisonIvy, SGX} {
+		l := MustNew(org, 128<<20)
+		prev := uint64(0)
+		for lev := 0; lev < l.TreeLevels(); lev++ {
+			cov := l.DataProtected(KindTree, lev)
+			if cov <= prev && cov != l.DataBytes() {
+				t.Errorf("%v: coverage not increasing at level %d: %d <= %d", org, lev, cov, prev)
+			}
+			prev = cov
+		}
+	}
+}
+
+// Property: two data blocks share a counter block iff they are within
+// the same coverage window.
+func TestPropertySharedCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, org := range []Organization{PoisonIvy, SGX} {
+		l := MustNew(org, 16<<20)
+		cov := org.CounterCoverage()
+		for i := 0; i < 300; i++ {
+			a := BlockOf(uint64(rng.Int63n(int64(l.DataBytes()))))
+			b := BlockOf(uint64(rng.Int63n(int64(l.DataBytes()))))
+			same := l.CounterAddr(a) == l.CounterAddr(b)
+			wantSame := a/cov == b/cov
+			if same != wantSame {
+				t.Fatalf("%v: a=%#x b=%#x share=%v want %v", org, a, b, same, wantSame)
+			}
+		}
+	}
+}
+
+func TestVerifyChainSharedPrefix(t *testing.T) {
+	// Counters in adjacent "tree arity" groups share everything above
+	// the leaf.
+	l := MustNew(PoisonIvy, 4<<20)
+	c0 := l.CounterAddr(0)
+	c1 := l.CounterAddr(PageSize) // next counter block
+	ch0, ch1 := l.VerifyChain(c0), l.VerifyChain(c1)
+	if ch0[0] != ch1[0] {
+		t.Error("adjacent counter blocks should share their leaf node")
+	}
+	cFar := l.CounterAddr(uint64(9 * TreeArity * PageSize))
+	chFar := l.VerifyChain(cFar)
+	if ch0[0] == chFar[0] {
+		t.Error("distant counter blocks should not share the leaf")
+	}
+	if ch0[len(ch0)-1] != chFar[len(chFar)-1] {
+		t.Error("all chains share the top in-memory level")
+	}
+}

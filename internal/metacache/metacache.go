@@ -1,0 +1,328 @@
+// Package metacache implements the on-chip metadata cache at the
+// heart of MAPS: a set-associative cache shared by encryption
+// counters, data hashes, and integrity-tree nodes, with configurable
+// content policies (which types may be cached), partial writes for
+// hash/tree blocks, way partitioning, and per-type statistics.
+package metacache
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/partition"
+)
+
+// ContentPolicy is a bitmask of metadata kinds the cache may hold.
+// Accesses to excluded kinds bypass the cache and always go to
+// memory.
+type ContentPolicy uint8
+
+// Content bits.
+const (
+	Counters ContentPolicy = 1 << iota
+	Hashes
+	TreeNodes
+)
+
+// Named combinations studied in Figure 1 (and the text's "other
+// configurations").
+const (
+	CountersOnly   = Counters
+	CountersHashes = Counters | Hashes
+	AllTypes       = Counters | Hashes | TreeNodes
+	HashesOnly     = Hashes
+	TreeOnly       = TreeNodes
+	CountersTree   = Counters | TreeNodes
+	HashesTree     = Hashes | TreeNodes
+)
+
+// Allows reports whether the policy admits a kind.
+func (p ContentPolicy) Allows(kind memlayout.Kind) bool {
+	switch kind {
+	case memlayout.KindCounter:
+		return p&Counters != 0
+	case memlayout.KindHash:
+		return p&Hashes != 0
+	case memlayout.KindTree:
+		return p&TreeNodes != 0
+	default:
+		return false
+	}
+}
+
+// String names the policy as in Figure 1's legend.
+func (p ContentPolicy) String() string {
+	switch p {
+	case CountersOnly:
+		return "counters"
+	case CountersHashes:
+		return "counters+hashes"
+	case AllTypes:
+		return "all"
+	case HashesOnly:
+		return "hashes"
+	case TreeOnly:
+		return "tree"
+	case CountersTree:
+		return "counters+tree"
+	case HashesTree:
+		return "hashes+tree"
+	default:
+		return fmt.Sprintf("ContentPolicy(%#x)", uint8(p))
+	}
+}
+
+// EncodeClass packs a metadata kind and tree level into the cache
+// framework's class byte.
+func EncodeClass(kind memlayout.Kind, level int) uint8 {
+	return uint8(kind)<<4 | uint8(level&0xF)
+}
+
+// DecodeClass unpacks EncodeClass.
+func DecodeClass(c uint8) (memlayout.Kind, int) {
+	return memlayout.Kind(c >> 4), int(c & 0xF)
+}
+
+// Config assembles a metadata cache.
+type Config struct {
+	// Size is the capacity in bytes; Ways the associativity.
+	Size, Ways int
+	// Policy is the replacement policy; nil selects pseudo-LRU, the
+	// paper's baseline.
+	Policy cache.Policy
+	// Content selects which kinds may be cached; zero means all.
+	Content ContentPolicy
+	// PartialWrites enables placeholder insertion for hash and tree
+	// write misses (§IV-E).
+	PartialWrites bool
+	// Partition constrains counter/hash placement; nil means none.
+	Partition partition.Scheme
+}
+
+// KindStats counts per-kind activity. Accesses = Hits + Misses +
+// Bypassed: requests for kinds the content policy excludes never
+// enter the cache, so — matching the paper's Figure 1 metric — they
+// are tracked as Bypassed rather than Misses (they still cost a
+// memory access, which the engine's traffic counters capture).
+type KindStats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Bypassed    uint64
+	PartialMiss uint64
+}
+
+// Result reports one metadata access.
+type Result struct {
+	// Hit means no memory access is needed for this block: tag hit
+	// and, when slot-addressed, the slot held data.
+	Hit bool
+	// TagHit means the block was present (even if the slot wasn't
+	// filled).
+	TagHit bool
+	// Evicted lists dirty blocks displaced by this access that the
+	// memory controller must now write back (and whose tree updates
+	// it must perform).
+	Evicted []Evicted
+}
+
+// Evicted describes a displaced dirty block.
+type Evicted struct {
+	Addr  uint64
+	Kind  memlayout.Kind
+	Level int
+	// Partial reports an incompletely-filled hash/tree block; the
+	// writeback needs one fill read first.
+	Partial bool
+}
+
+// MetaCache is the type-aware metadata cache.
+type MetaCache struct {
+	cfg      Config
+	c        *cache.Cache
+	perKind  [4]KindStats
+	perLevel [16]KindStats // tree accesses split by level
+	scratch  []Evicted
+}
+
+// New builds a metadata cache.
+func New(cfg Config) (*MetaCache, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NewPLRU()
+	}
+	if cfg.Content == 0 {
+		cfg.Content = AllTypes
+	}
+	c, err := cache.New(cfg.Size, cfg.Ways, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("metacache: %w", err)
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = partition.NewNone()
+	}
+	cfg.Partition.Reset(c.Sets(), cfg.Ways)
+	return &MetaCache{cfg: cfg, c: c}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *MetaCache {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size reports capacity in bytes.
+func (m *MetaCache) Size() int { return m.c.SizeBytes() }
+
+// Content reports the content policy.
+func (m *MetaCache) Content() ContentPolicy { return m.cfg.Content }
+
+// PolicyName reports the replacement policy name.
+func (m *MetaCache) PolicyName() string { return m.cfg.Policy.Name() }
+
+// PartialWrites reports whether write-miss placeholders are enabled.
+func (m *MetaCache) PartialWrites() bool { return m.cfg.PartialWrites }
+
+// Allows reports whether the content policy admits a kind.
+func (m *MetaCache) Allows(kind memlayout.Kind) bool { return m.cfg.Content.Allows(kind) }
+
+// KindStats returns per-kind counters.
+func (m *MetaCache) KindStats(kind memlayout.Kind) KindStats { return m.perKind[kind] }
+
+// LevelStats returns the counters for tree accesses at one level
+// (leaf = 0). The paper's observation that upper levels cache better
+// (they cover more data) is directly visible here.
+func (m *MetaCache) LevelStats(level int) KindStats { return m.perLevel[level&0xF] }
+
+// TotalStats sums the per-kind counters over metadata kinds.
+func (m *MetaCache) TotalStats() KindStats {
+	var t KindStats
+	for _, k := range memlayout.MetaKinds {
+		s := m.perKind[k]
+		t.Accesses += s.Accesses
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.Bypassed += s.Bypassed
+		t.PartialMiss += s.PartialMiss
+	}
+	return t
+}
+
+// CacheStats exposes the underlying cache counters.
+func (m *MetaCache) CacheStats() cache.Stats { return m.c.Stats() }
+
+// ResetStats zeroes all statistics (contents persist), for warmup.
+func (m *MetaCache) ResetStats() {
+	m.perKind = [4]KindStats{}
+	m.perLevel = [16]KindStats{}
+	m.c.ResetStats()
+}
+
+// Occupancy counts resident lines of one kind (-1 for all).
+func (m *MetaCache) Occupancy(kind int) int {
+	if kind < 0 {
+		return m.c.Occupancy(-1)
+	}
+	n := 0
+	for level := 0; level < 16; level++ {
+		n += m.c.Occupancy(int(EncodeClass(memlayout.Kind(kind), level)))
+	}
+	return n
+}
+
+// Access performs one metadata access. slot addresses an 8 B entry
+// within the block for hash/tree partial-write tracking; pass -1 for
+// whole-block semantics (counters). The returned Evicted slice is
+// reused across calls.
+func (m *MetaCache) Access(addr uint64, kind memlayout.Kind, level int, write bool, slot int) Result {
+	st := &m.perKind[kind]
+	st.Accesses++
+	var lv *KindStats
+	if kind == memlayout.KindTree {
+		lv = &m.perLevel[level&0xF]
+		lv.Accesses++
+	}
+
+	if !m.cfg.Content.Allows(kind) {
+		st.Bypassed++
+		if lv != nil {
+			lv.Bypassed++
+		}
+		return Result{}
+	}
+
+	// Type-aware predictors learn from the (kind, level, request
+	// type) signature of each access.
+	if obs, ok := m.cfg.Policy.(interface{ Observe(class uint8, write bool) }); ok {
+		obs.Observe(EncodeClass(kind, level), write)
+	}
+
+	set := m.c.SetOf(addr)
+	allowed := m.cfg.Partition.AllowedMask(set, kind)
+
+	partial := m.cfg.PartialWrites && slot >= 0 &&
+		(kind == memlayout.KindHash || kind == memlayout.KindTree)
+	if !partial {
+		slot = -1
+	}
+	res := m.c.Access(addr, write, cache.Options{
+		Class:   EncodeClass(kind, level),
+		Slot:    slot,
+		Partial: partial,
+		Allowed: allowed,
+	})
+
+	m.cfg.Partition.Observe(set, kind, res.Hit)
+
+	out := Result{TagHit: res.Hit, Hit: res.Hit && res.SlotValid}
+	if res.Hit {
+		st.Hits++
+		if !res.SlotValid {
+			st.PartialMiss++
+		}
+	} else {
+		st.Misses++
+	}
+	if lv != nil {
+		if res.Hit {
+			lv.Hits++
+			if !res.SlotValid {
+				lv.PartialMiss++
+			}
+		} else {
+			lv.Misses++
+		}
+	}
+	if res.Evicted.Valid && res.Evicted.Dirty {
+		m.scratch = m.scratch[:0]
+		k, lev := DecodeClass(res.Evicted.Class)
+		m.scratch = append(m.scratch, Evicted{
+			Addr:    res.Evicted.Addr,
+			Kind:    k,
+			Level:   lev,
+			Partial: res.Evicted.ValidMask != cache.FullMask,
+		})
+		out.Evicted = m.scratch
+	}
+	return out
+}
+
+// Flush evicts everything, returning the dirty blocks for final
+// writeback accounting.
+func (m *MetaCache) Flush() []Evicted {
+	var out []Evicted
+	for _, l := range m.c.Flush() {
+		k, lev := DecodeClass(l.Class)
+		out = append(out, Evicted{
+			Addr:    l.Addr,
+			Kind:    k,
+			Level:   lev,
+			Partial: l.ValidMask != cache.FullMask,
+		})
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package partition implements the metadata-cache partitioning
+// schemes of MAPS §V-C: no partition, static way-partitions between
+// counters and hashes, and a set-dueling dynamic partitioner. Tree
+// nodes are never constrained, following the paper ("tree nodes need
+// not be included in the partitioning scheme").
+package partition
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+// Scheme decides which ways each metadata kind may occupy.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Reset (re)initializes for a cache geometry.
+	Reset(sets, ways int)
+	// AllowedMask returns the way mask the given kind may victimize
+	// and occupy in the given set. Zero is not allowed.
+	AllowedMask(set int, kind memlayout.Kind) uint64
+	// Observe feeds access outcomes to adaptive schemes.
+	Observe(set int, kind memlayout.Kind, hit bool)
+}
+
+// None places no constraints: the unpartitioned cache.
+type None struct{ ways int }
+
+// NewNone returns the unpartitioned scheme.
+func NewNone() *None { return &None{} }
+
+// Name implements Scheme.
+func (*None) Name() string { return "none" }
+
+// Reset implements Scheme.
+func (n *None) Reset(sets, ways int) { n.ways = ways }
+
+// AllowedMask implements Scheme.
+func (n *None) AllowedMask(set int, kind memlayout.Kind) uint64 {
+	return fullMask(n.ways)
+}
+
+// Observe implements Scheme.
+func (*None) Observe(set int, kind memlayout.Kind, hit bool) {}
+
+func fullMask(ways int) uint64 {
+	if ways >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(ways)) - 1
+}
+
+// splitMasks returns the (counter, hash) way masks for a static split
+// giving counterWays ways to counters.
+func splitMasks(ways, counterWays int) (uint64, uint64) {
+	c := (uint64(1) << uint(counterWays)) - 1
+	return c, fullMask(ways) &^ c
+}
+
+// Static reserves a fixed number of ways for counters, the rest for
+// hashes; tree nodes roam everywhere.
+type Static struct {
+	counterWays int
+	ways        int
+}
+
+// NewStatic creates a static split. counterWays must leave at least
+// one way for each side.
+func NewStatic(counterWays int) *Static {
+	return &Static{counterWays: counterWays}
+}
+
+// Name implements Scheme.
+func (s *Static) Name() string { return fmt.Sprintf("static-%d", s.counterWays) }
+
+// CounterWays reports the split.
+func (s *Static) CounterWays() int { return s.counterWays }
+
+// Reset implements Scheme.
+func (s *Static) Reset(sets, ways int) {
+	if s.counterWays < 1 || s.counterWays >= ways {
+		panic(fmt.Sprintf("partition: static split %d must be in [1,%d)", s.counterWays, ways))
+	}
+	s.ways = ways
+}
+
+// AllowedMask implements Scheme.
+func (s *Static) AllowedMask(set int, kind memlayout.Kind) uint64 {
+	c, h := splitMasks(s.ways, s.counterWays)
+	switch kind {
+	case memlayout.KindCounter:
+		return c
+	case memlayout.KindHash:
+		return h
+	default:
+		return fullMask(s.ways)
+	}
+}
+
+// Observe implements Scheme.
+func (*Static) Observe(set int, kind memlayout.Kind, hit bool) {}
+
+// Dynamic is the set-dueling partitioner: two leader groups run the
+// two candidate splits, a saturating selector counts their misses,
+// and follower sets adopt the winner (Qureshi's DIP applied to
+// partitioning, as the paper sketches).
+type Dynamic struct {
+	// SplitA and SplitB are the dueling counter-way allocations.
+	SplitA, SplitB int
+	// LeaderPeriod spaces leader sets; every LeaderPeriod-th set
+	// leads for A, the next for B.
+	LeaderPeriod int
+
+	ways int
+	psel int
+	// pselMax bounds the saturating selector.
+	pselMax int
+}
+
+// NewDynamic creates a set-dueling partitioner with the given
+// candidate splits.
+func NewDynamic(splitA, splitB int) *Dynamic {
+	return &Dynamic{SplitA: splitA, SplitB: splitB, LeaderPeriod: 32, pselMax: 1024}
+}
+
+// Name implements Scheme.
+func (d *Dynamic) Name() string { return "dynamic" }
+
+// Reset implements Scheme.
+func (d *Dynamic) Reset(sets, ways int) {
+	check := func(s int) {
+		if s < 1 || s >= ways {
+			panic(fmt.Sprintf("partition: dynamic split %d must be in [1,%d)", s, ways))
+		}
+	}
+	check(d.SplitA)
+	check(d.SplitB)
+	if d.LeaderPeriod < 2 {
+		d.LeaderPeriod = 32
+	}
+	d.ways = ways
+	d.psel = 0
+}
+
+// role classifies a set: 0 = leader A, 1 = leader B, 2 = follower.
+func (d *Dynamic) role(set int) int {
+	switch set % d.LeaderPeriod {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// currentSplit returns the split followers should use.
+func (d *Dynamic) currentSplit() int {
+	if d.psel <= 0 {
+		return d.SplitA
+	}
+	return d.SplitB
+}
+
+// AllowedMask implements Scheme.
+func (d *Dynamic) AllowedMask(set int, kind memlayout.Kind) uint64 {
+	if kind != memlayout.KindCounter && kind != memlayout.KindHash {
+		return fullMask(d.ways)
+	}
+	var split int
+	switch d.role(set) {
+	case 0:
+		split = d.SplitA
+	case 1:
+		split = d.SplitB
+	default:
+		split = d.currentSplit()
+	}
+	c, h := splitMasks(d.ways, split)
+	if kind == memlayout.KindCounter {
+		return c
+	}
+	return h
+}
+
+// Observe implements Scheme: leader misses move the selector.
+func (d *Dynamic) Observe(set int, kind memlayout.Kind, hit bool) {
+	if hit || (kind != memlayout.KindCounter && kind != memlayout.KindHash) {
+		return
+	}
+	switch d.role(set) {
+	case 0: // a miss under A argues for B
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case 1: // a miss under B argues for A
+		if d.psel > -d.pselMax {
+			d.psel--
+		}
+	}
+}
+
+// Selector exposes the current PSEL value for diagnostics.
+func (d *Dynamic) Selector() int { return d.psel }
+
+// Interface checks.
+var (
+	_ Scheme = (*None)(nil)
+	_ Scheme = (*Static)(nil)
+	_ Scheme = (*Dynamic)(nil)
+)

@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"math/bits"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+func TestNoneAllowsEverything(t *testing.T) {
+	n := NewNone()
+	n.Reset(64, 8)
+	for _, k := range []memlayout.Kind{memlayout.KindCounter, memlayout.KindHash, memlayout.KindTree} {
+		if got := n.AllowedMask(3, k); got != 0xFF {
+			t.Errorf("mask for %v = %#x", k, got)
+		}
+	}
+	if n.Name() != "none" {
+		t.Error("name")
+	}
+	n.Observe(0, memlayout.KindCounter, false) // must not panic
+}
+
+func TestFullMaskWide(t *testing.T) {
+	if fullMask(64) != ^uint64(0) {
+		t.Error("64-way mask wrong")
+	}
+	if fullMask(8) != 0xFF {
+		t.Error("8-way mask wrong")
+	}
+}
+
+func TestStaticSplit(t *testing.T) {
+	s := NewStatic(3)
+	s.Reset(16, 8)
+	c := s.AllowedMask(0, memlayout.KindCounter)
+	h := s.AllowedMask(0, memlayout.KindHash)
+	tr := s.AllowedMask(0, memlayout.KindTree)
+	if c != 0b00000111 {
+		t.Errorf("counter mask = %#b", c)
+	}
+	if h != 0b11111000 {
+		t.Errorf("hash mask = %#b", h)
+	}
+	if c&h != 0 {
+		t.Error("counter and hash masks overlap")
+	}
+	if tr != 0xFF {
+		t.Errorf("tree mask = %#b, want unconstrained", tr)
+	}
+	if s.Name() != "static-3" || s.CounterWays() != 3 {
+		t.Error("identity accessors wrong")
+	}
+}
+
+func TestStaticRejectsDegenerateSplits(t *testing.T) {
+	for _, w := range []int{0, 8, 9} {
+		s := NewStatic(w)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("split %d accepted", w)
+				}
+			}()
+			s.Reset(16, 8)
+		}()
+	}
+}
+
+func TestDynamicLeaderRoles(t *testing.T) {
+	d := NewDynamic(2, 6)
+	d.Reset(128, 8)
+	if d.role(0) != 0 || d.role(1) != 1 || d.role(2) != 2 || d.role(32) != 0 {
+		t.Error("leader set layout wrong")
+	}
+	// Leader A uses split 2, leader B split 6 regardless of PSEL.
+	a := d.AllowedMask(0, memlayout.KindCounter)
+	b := d.AllowedMask(1, memlayout.KindCounter)
+	if bits.OnesCount64(a) != 2 || bits.OnesCount64(b) != 6 {
+		t.Errorf("leader masks: %#b %#b", a, b)
+	}
+	if d.AllowedMask(5, memlayout.KindTree) != 0xFF {
+		t.Error("tree should be unconstrained")
+	}
+}
+
+func TestDynamicDueling(t *testing.T) {
+	d := NewDynamic(2, 6)
+	d.Reset(128, 8)
+	// Initially followers use split A.
+	if d.currentSplit() != 2 {
+		t.Errorf("initial split = %d", d.currentSplit())
+	}
+	// Misses in leader-A sets push followers toward B.
+	for i := 0; i < 10; i++ {
+		d.Observe(0, memlayout.KindCounter, false)
+	}
+	if d.currentSplit() != 6 {
+		t.Errorf("after A misses, split = %d, want B's 6", d.currentSplit())
+	}
+	if d.Selector() != 10 {
+		t.Errorf("psel = %d", d.Selector())
+	}
+	// Misses in leader-B sets pull back.
+	for i := 0; i < 20; i++ {
+		d.Observe(1, memlayout.KindHash, false)
+	}
+	if d.currentSplit() != 2 {
+		t.Errorf("after B misses, split = %d, want A's 2", d.currentSplit())
+	}
+	// Hits and follower misses don't move the selector.
+	before := d.Selector()
+	d.Observe(0, memlayout.KindCounter, true)
+	d.Observe(5, memlayout.KindCounter, false)
+	d.Observe(0, memlayout.KindTree, false)
+	if d.Selector() != before {
+		t.Error("selector moved on non-leader or hit events")
+	}
+}
+
+func TestDynamicSaturates(t *testing.T) {
+	d := NewDynamic(2, 6)
+	d.Reset(128, 8)
+	for i := 0; i < 5000; i++ {
+		d.Observe(0, memlayout.KindCounter, false)
+	}
+	if d.Selector() != 1024 {
+		t.Errorf("psel = %d, want saturation at 1024", d.Selector())
+	}
+	for i := 0; i < 5000; i++ {
+		d.Observe(1, memlayout.KindCounter, false)
+	}
+	if d.Selector() != -1024 {
+		t.Errorf("psel = %d, want -1024", d.Selector())
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	d := NewDynamic(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad split accepted")
+		}
+	}()
+	d.Reset(64, 8)
+}
+
+func TestDynamicDefaultLeaderPeriod(t *testing.T) {
+	d := NewDynamic(2, 6)
+	d.LeaderPeriod = 0
+	d.Reset(64, 8)
+	if d.LeaderPeriod != 32 {
+		t.Errorf("leader period = %d", d.LeaderPeriod)
+	}
+}

@@ -1,0 +1,262 @@
+// Package plot renders small ASCII charts for terminal experiment
+// reports: multi-series line charts (reuse-distance CDFs, MPKI-vs-size
+// curves) and grouped horizontal bar charts (per-benchmark
+// comparisons). It exists so `cmd/maps` can show figure-shaped output
+// next to the tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarks are the per-series glyphs, in assignment order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	// Y values; all series on a chart share the X positions.
+	Y []float64
+}
+
+// LineChart is a fixed-grid multi-series chart with labeled X ticks.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks label each sample position.
+	XTicks []string
+	Height int // plot rows (default 12)
+	Series []Series
+	// YMax overrides auto-scaling when > 0.
+	YMax float64
+}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	if len(c.Series) == 0 || len(c.XTicks) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Y {
+				if !math.IsNaN(v) && v > ymax {
+					ymax = v
+				}
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	cols := len(c.XTicks)
+	colWidth := 0
+	for _, t := range c.XTicks {
+		if len(t) > colWidth {
+			colWidth = len(t)
+		}
+	}
+	colWidth += 2
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range s.Y {
+			if xi >= cols || math.IsNaN(v) {
+				continue
+			}
+			level := int(math.Round(v / ymax * float64(height-1)))
+			if level < 0 {
+				level = 0
+			}
+			if level > height-1 {
+				level = height - 1
+			}
+			row := height - 1 - level
+			col := xi*colWidth + colWidth/2
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '?' // overlapping series
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	axisWidth := 8
+	for r, row := range grid {
+		label := strings.Repeat(" ", axisWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3g ", axisWidth-1, ymax)
+		case len(grid) - 1:
+			label = fmt.Sprintf("%*.3g ", axisWidth-1, 0.0)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", axisWidth))
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", cols*colWidth))
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat(" ", axisWidth+1))
+	for _, t := range c.XTicks {
+		fmt.Fprintf(&sb, "%-*s", colWidth, centered(t, colWidth))
+	}
+	sb.WriteByte('\n')
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat(" ", axisWidth+1), c.XLabel)
+	}
+	// Legend.
+	sb.WriteString(strings.Repeat(" ", axisWidth+1))
+	for si, s := range c.Series {
+		if si > 0 {
+			sb.WriteString("   ")
+		}
+		fmt.Fprintf(&sb, "%c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func centered(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart is a horizontal bar chart.
+type BarChart struct {
+	Title string
+	Width int // bar area width (default 40)
+	Bars  []Bar
+	// Max overrides auto-scaling when > 0.
+	Max float64
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := c.Max
+	if max <= 0 {
+		for _, b := range c.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := int(math.Round(b.Value / max * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.2f\n",
+			labelW, b.Label, strings.Repeat("=", n), strings.Repeat(" ", width-n), b.Value)
+	}
+	return sb.String()
+}
+
+// StackedBar is one bar composed of segments that sum to <= 1.
+type StackedBar struct {
+	Label    string
+	Segments []float64
+}
+
+// StackedChart draws normalized stacked bars (Figure 4's shape).
+type StackedChart struct {
+	Title    string
+	Width    int
+	Legend   []string
+	Bars     []StackedBar
+	segMarks []byte
+}
+
+// Render draws the chart.
+func (c *StackedChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	marks := c.segMarks
+	if len(marks) == 0 {
+		marks = []byte{'#', '=', '-', '.'}
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		fmt.Fprintf(&sb, "%-*s |", labelW, b.Label)
+		used := 0
+		for si, frac := range b.Segments {
+			n := int(math.Round(frac * float64(width)))
+			if used+n > width {
+				n = width - used
+			}
+			sb.WriteString(strings.Repeat(string(marks[si%len(marks)]), n))
+			used += n
+		}
+		sb.WriteString(strings.Repeat(" ", width-used))
+		sb.WriteString("|\n")
+	}
+	if len(c.Legend) > 0 {
+		sb.WriteString(strings.Repeat(" ", labelW+2))
+		for si, name := range c.Legend {
+			if si > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%c=%s", marks[si%len(marks)], name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

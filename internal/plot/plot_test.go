@@ -1,0 +1,146 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	c := &LineChart{
+		Title:  "test chart",
+		XTicks: []string{"16K", "64K", "256K"},
+		Series: []Series{
+			{Name: "a", Y: []float64{1, 2, 3}},
+			{Name: "b", Y: []float64{3, 2, 1}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "16K", "256K", "* a", "o b", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Max value appears on the y-axis.
+	if !strings.Contains(out, "3") {
+		t.Error("y-axis max missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Title: "empty"}
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestLineChartOverlap(t *testing.T) {
+	c := &LineChart{
+		XTicks: []string{"x"},
+		Series: []Series{{Name: "a", Y: []float64{1}}, {Name: "b", Y: []float64{1}}},
+	}
+	if !strings.Contains(c.Render(), "?") {
+		t.Error("overlapping points should render '?'")
+	}
+}
+
+func TestLineChartScaling(t *testing.T) {
+	c := &LineChart{
+		XTicks: []string{"a", "b"},
+		Series: []Series{{Name: "s", Y: []float64{0, 100}}},
+		Height: 5,
+		YMax:   200,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "200") {
+		t.Errorf("explicit YMax not used:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// 5 plot rows + axis + ticks + legend.
+	if len(lines) < 8 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestLineChartZeroValues(t *testing.T) {
+	c := &LineChart{
+		XTicks: []string{"a"},
+		Series: []Series{{Name: "s", Y: []float64{0}}},
+	}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Errorf("zero value should still plot at the bottom:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title: "bars",
+		Bars:  []Bar{{"plru", 10}, {"min", 20}},
+		Width: 20,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "plru") || !strings.Contains(out, "20.00") {
+		t.Errorf("bar chart incomplete:\n%s", out)
+	}
+	// min's bar should be twice plru's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	plruBar := strings.Count(lines[1], "=")
+	minBar := strings.Count(lines[2], "=")
+	if minBar != 2*plruBar {
+		t.Errorf("bar lengths %d vs %d, want 2x", plruBar, minBar)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	c := &BarChart{Bars: []Bar{{"z", 0}}}
+	out := c.Render()
+	if !strings.Contains(out, "0.00") {
+		t.Errorf("zero bar missing:\n%s", out)
+	}
+}
+
+func TestStackedChart(t *testing.T) {
+	c := &StackedChart{
+		Title:  "classes",
+		Width:  20,
+		Legend: []string{"short", "mid1", "mid2", "long"},
+		Bars: []StackedBar{
+			{Label: "libquantum", Segments: []float64{0.9, 0, 0, 0.1}},
+			{Label: "canneal", Segments: []float64{0.4, 0.05, 0.05, 0.5}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"classes", "libquantum", "#=short", ".=long"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Fractions map to glyph counts.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "libquantum") {
+			if n := strings.Count(line, "#"); n != 18 {
+				t.Errorf("libquantum short segment = %d glyphs, want 18", n)
+			}
+		}
+	}
+}
+
+func TestStackedChartOverflowClamped(t *testing.T) {
+	c := &StackedChart{
+		Width: 10,
+		Bars:  []StackedBar{{Label: "x", Segments: []float64{0.8, 0.8}}},
+	}
+	out := c.Render()
+	line := strings.Split(out, "\n")[0]
+	if inner := strings.TrimSuffix(strings.SplitN(line, "|", 2)[1], "|"); len(inner) != 10 {
+		t.Errorf("bar area width %d, want 10: %q", len(inner), line)
+	}
+}
+
+func TestCentered(t *testing.T) {
+	if got := centered("ab", 6); got != "  ab" {
+		t.Errorf("centered = %q", got)
+	}
+	if got := centered("abcdef", 4); got != "abcdef" {
+		t.Errorf("long string should pass through, got %q", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package reuse measures metadata reuse distances the way MAPS
+// Figures 3–5 do: exact LRU stack distances over the combined
+// metadata access stream (so distances reflect competition between
+// types in one shared cache), reported in bytes, split by metadata
+// type and by request-type transition, plus the paper's four-class
+// bimodality breakdown.
+package reuse
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/stats"
+)
+
+// StackDist computes exact LRU stack distances (number of distinct
+// blocks touched between consecutive accesses to the same block)
+// using a Fenwick tree over access positions.
+type StackDist struct {
+	last  map[uint64]int64
+	marks []bool  // mark at the most recent position of each block
+	bit   []int64 // Fenwick tree over marks, 1-indexed
+	n     int64
+}
+
+// NewStackDist creates an analyzer with capacity for sizeHint
+// accesses; it grows automatically beyond that.
+func NewStackDist(sizeHint int) *StackDist {
+	if sizeHint < 1024 {
+		sizeHint = 1024
+	}
+	return &StackDist{
+		last:  make(map[uint64]int64),
+		marks: make([]bool, sizeHint),
+		bit:   make([]int64, sizeHint+1),
+	}
+}
+
+func (s *StackDist) grow() {
+	marks := make([]bool, len(s.marks)*2)
+	copy(marks, s.marks)
+	s.marks = marks
+	s.bit = make([]int64, len(marks)+1)
+	for i, m := range s.marks {
+		if m {
+			s.bitAdd(int64(i), 1)
+		}
+	}
+}
+
+func (s *StackDist) bitAdd(pos, delta int64) {
+	for i := pos + 1; i < int64(len(s.bit)); i += i & (-i) {
+		s.bit[i] += delta
+	}
+}
+
+// bitSum returns the number of marks at positions <= pos.
+func (s *StackDist) bitSum(pos int64) int64 {
+	var sum int64
+	for i := pos + 1; i > 0; i -= i & (-i) {
+		sum += s.bit[i]
+	}
+	return sum
+}
+
+// Access records one access and returns the stack distance in
+// distinct blocks since the previous access to addr. cold reports a
+// first-ever access (distance undefined).
+func (s *StackDist) Access(addr uint64) (dist int64, cold bool) {
+	i := s.n
+	s.n++
+	for i >= int64(len(s.marks)) {
+		s.grow()
+	}
+	prev, seen := s.last[addr]
+	if seen {
+		// Marks strictly between prev and i are the distinct blocks
+		// touched since.
+		dist = s.bitSum(i-1) - s.bitSum(prev)
+		s.marks[prev] = false
+		s.bitAdd(prev, -1)
+	} else {
+		dist, cold = -1, true
+	}
+	s.marks[i] = true
+	s.bitAdd(i, 1)
+	s.last[addr] = i
+	return dist, cold
+}
+
+// Transition classifies consecutive request types to the same block.
+type Transition uint8
+
+// Transition values: previous request → current request.
+const (
+	RtoR Transition = iota
+	RtoW
+	WtoR
+	WtoW
+)
+
+// Transitions lists all transitions in display order.
+var Transitions = []Transition{RtoR, RtoW, WtoR, WtoW}
+
+// String names the transition as in Figure 5.
+func (t Transition) String() string {
+	switch t {
+	case RtoR:
+		return "read-after-read"
+	case RtoW:
+		return "write-after-read"
+	case WtoR:
+		return "read-after-write"
+	case WtoW:
+		return "write-after-write"
+	default:
+		return fmt.Sprintf("Transition(%d)", int(t))
+	}
+}
+
+// The paper's Figure 4 classes, in bytes (128/256/512 blocks).
+var (
+	// ClassBounds are the upper edges of the first three reuse
+	// classes; the fourth is everything above.
+	ClassBounds = [3]uint64{8 << 10, 16 << 10, 32 << 10}
+	// ClassLabels names the four classes.
+	ClassLabels = [4]string{"<=8KB", "8-16KB", "16-32KB", ">32KB"}
+)
+
+type transKey struct {
+	kind  memlayout.Kind
+	trans Transition
+}
+
+// Analyzer accumulates reuse statistics over a metadata access
+// stream.
+type Analyzer struct {
+	sd      *StackDist
+	byKind  map[memlayout.Kind]*stats.Histogram
+	byTrans map[transKey]*stats.Histogram
+	lastReq map[uint64]bool // block -> last access was a write
+	cold    map[memlayout.Kind]uint64
+	total   map[memlayout.Kind]uint64
+}
+
+// NewAnalyzer creates an empty analyzer; sizeHint estimates the
+// stream length.
+func NewAnalyzer(sizeHint int) *Analyzer {
+	return &Analyzer{
+		sd:      NewStackDist(sizeHint),
+		byKind:  make(map[memlayout.Kind]*stats.Histogram),
+		byTrans: make(map[transKey]*stats.Histogram),
+		lastReq: make(map[uint64]bool),
+		cold:    make(map[memlayout.Kind]uint64),
+		total:   make(map[memlayout.Kind]uint64),
+	}
+}
+
+// Record feeds one metadata access (block-aligned address).
+func (a *Analyzer) Record(addr uint64, kind memlayout.Kind, write bool) {
+	dist, cold := a.sd.Access(addr)
+	a.total[kind]++
+
+	prevW, seen := a.lastReq[addr]
+	a.lastReq[addr] = write
+
+	if cold {
+		a.cold[kind]++
+		return
+	}
+	bytes := uint64(dist) * memlayout.BlockSize
+	h := a.byKind[kind]
+	if h == nil {
+		h = stats.NewHistogram()
+		a.byKind[kind] = h
+	}
+	h.Add(bytes)
+
+	if seen {
+		tr := transitionOf(prevW, write)
+		k := transKey{kind, tr}
+		th := a.byTrans[k]
+		if th == nil {
+			th = stats.NewHistogram()
+			a.byTrans[k] = th
+		}
+		th.Add(bytes)
+	}
+}
+
+func transitionOf(prevWrite, write bool) Transition {
+	switch {
+	case !prevWrite && !write:
+		return RtoR
+	case !prevWrite && write:
+		return RtoW
+	case prevWrite && !write:
+		return WtoR
+	default:
+		return WtoW
+	}
+}
+
+// Accesses reports the recorded access count for a kind.
+func (a *Analyzer) Accesses(kind memlayout.Kind) uint64 { return a.total[kind] }
+
+// ColdAccesses reports first-touch accesses for a kind.
+func (a *Analyzer) ColdAccesses(kind memlayout.Kind) uint64 { return a.cold[kind] }
+
+// CDF evaluates the reuse-distance CDF (fraction of *reused* accesses
+// with distance <= each threshold, in bytes) for a kind.
+func (a *Analyzer) CDF(kind memlayout.Kind, thresholds []uint64) []float64 {
+	h := a.byKind[kind]
+	if h == nil {
+		return make([]float64, len(thresholds))
+	}
+	return h.CDF(thresholds)
+}
+
+// TransitionCDF evaluates the per-request-type CDF of Figure 5.
+func (a *Analyzer) TransitionCDF(kind memlayout.Kind, tr Transition, thresholds []uint64) []float64 {
+	h := a.byTrans[transKey{kind, tr}]
+	if h == nil {
+		return make([]float64, len(thresholds))
+	}
+	return h.CDF(thresholds)
+}
+
+// TransitionCount reports how many accesses fell in a transition
+// class.
+func (a *Analyzer) TransitionCount(kind memlayout.Kind, tr Transition) uint64 {
+	h := a.byTrans[transKey{kind, tr}]
+	if h == nil {
+		return 0
+	}
+	return h.Total()
+}
+
+// Classes returns the Figure 4 breakdown for a kind: fractions of all
+// accesses (cold ones count as the largest class) in
+// {<=8KB, 8-16KB, 16-32KB, >32KB}.
+func (a *Analyzer) Classes(kind memlayout.Kind) [4]float64 {
+	var out [4]float64
+	total := a.total[kind]
+	if total == 0 {
+		return out
+	}
+	h := a.byKind[kind]
+	var counts [4]uint64
+	if h != nil {
+		reused := h.Total()
+		c0 := uint64(float64(reused) * h.FractionAtOrBelow(ClassBounds[0]))
+		c1 := h.CountBetween(ClassBounds[0], ClassBounds[1])
+		c2 := h.CountBetween(ClassBounds[1], ClassBounds[2])
+		counts[0] = c0
+		counts[1] = c1
+		counts[2] = c2
+		counts[3] = reused - c0 - c1 - c2
+	}
+	counts[3] += a.cold[kind]
+	for i := range out {
+		out[i] = float64(counts[i]) / float64(total)
+	}
+	return out
+}
+
+// BimodalityScore returns the combined mass of the two extreme
+// classes; values near 1 mean "short or long, nothing in between".
+func (a *Analyzer) BimodalityScore(kind memlayout.Kind) float64 {
+	c := a.Classes(kind)
+	return c[0] + c[3]
+}

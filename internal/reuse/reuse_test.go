@@ -1,0 +1,192 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+func TestStackDistBasics(t *testing.T) {
+	sd := NewStackDist(0)
+	if _, cold := sd.Access(0); !cold {
+		t.Error("first access not cold")
+	}
+	// A B C A: distance of the second A is 2 (B and C between).
+	sd2 := NewStackDist(0)
+	sd2.Access(0)
+	sd2.Access(64)
+	sd2.Access(128)
+	d, cold := sd2.Access(0)
+	if cold || d != 2 {
+		t.Errorf("dist = %d cold=%v, want 2", d, cold)
+	}
+}
+
+func TestStackDistImmediateReuse(t *testing.T) {
+	sd := NewStackDist(0)
+	sd.Access(0)
+	d, _ := sd.Access(0)
+	if d != 0 {
+		t.Errorf("back-to-back distance = %d, want 0", d)
+	}
+}
+
+func TestStackDistRepeatsDontInflate(t *testing.T) {
+	// A B B B A: distance of second A is 1 (only B between, counted
+	// once).
+	sd := NewStackDist(0)
+	sd.Access(0)
+	sd.Access(64)
+	sd.Access(64)
+	sd.Access(64)
+	d, _ := sd.Access(0)
+	if d != 1 {
+		t.Errorf("dist = %d, want 1", d)
+	}
+}
+
+// Oracle: naive set-scan implementation.
+func TestPropertyStackDistMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sd := NewStackDist(4) // force growth
+	type rec struct{ addr uint64 }
+	var history []rec
+	lastIdx := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(64)) * 64
+		var want int64 = -1
+		if j, ok := lastIdx[addr]; ok {
+			seen := map[uint64]bool{}
+			for k := j + 1; k < len(history); k++ {
+				seen[history[k].addr] = true
+			}
+			want = int64(len(seen))
+		}
+		got, cold := sd.Access(addr)
+		if cold != (want == -1) || (!cold && got != want) {
+			t.Fatalf("access %d addr %#x: got %d cold=%v, want %d", i, addr, got, cold, want)
+		}
+		lastIdx[addr] = len(history)
+		history = append(history, rec{addr})
+	}
+}
+
+func TestTransitionOf(t *testing.T) {
+	cases := map[Transition][2]bool{
+		RtoR: {false, false}, RtoW: {false, true},
+		WtoR: {true, false}, WtoW: {true, true},
+	}
+	for want, c := range cases {
+		if got := transitionOf(c[0], c[1]); got != want {
+			t.Errorf("transitionOf(%v,%v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+	for _, tr := range Transitions {
+		if tr.String() == "" {
+			t.Error("empty transition name")
+		}
+	}
+	if Transition(9).String() == "" {
+		t.Error("unknown transition should still print")
+	}
+}
+
+func TestAnalyzerCDF(t *testing.T) {
+	a := NewAnalyzer(0)
+	// Counter block reused at distance 1 (one hash between);
+	// repeated 10 times.
+	for i := 0; i < 10; i++ {
+		a.Record(1000, memlayout.KindCounter, false)
+		a.Record(2000, memlayout.KindHash, false)
+	}
+	if got := a.Accesses(memlayout.KindCounter); got != 10 {
+		t.Errorf("counter accesses = %d", got)
+	}
+	if got := a.ColdAccesses(memlayout.KindCounter); got != 1 {
+		t.Errorf("cold = %d", got)
+	}
+	cdf := a.CDF(memlayout.KindCounter, []uint64{64, 1 << 20})
+	if cdf[0] != 1 || cdf[1] != 1 {
+		t.Errorf("CDF = %v, want all reuse at 64B", cdf)
+	}
+	// Unknown kind: zeros.
+	z := a.CDF(memlayout.KindTree, []uint64{1024})
+	if z[0] != 0 {
+		t.Error("empty kind CDF should be 0")
+	}
+}
+
+func TestAnalyzerTransitions(t *testing.T) {
+	a := NewAnalyzer(0)
+	// W W R W on the same hash block.
+	a.Record(0, memlayout.KindHash, true)
+	a.Record(0, memlayout.KindHash, true)  // WtoW
+	a.Record(0, memlayout.KindHash, false) // WtoR
+	a.Record(0, memlayout.KindHash, true)  // RtoW
+	if got := a.TransitionCount(memlayout.KindHash, WtoW); got != 1 {
+		t.Errorf("WtoW = %d", got)
+	}
+	if got := a.TransitionCount(memlayout.KindHash, WtoR); got != 1 {
+		t.Errorf("WtoR = %d", got)
+	}
+	if got := a.TransitionCount(memlayout.KindHash, RtoW); got != 1 {
+		t.Errorf("RtoW = %d", got)
+	}
+	if got := a.TransitionCount(memlayout.KindHash, RtoR); got != 0 {
+		t.Errorf("RtoR = %d", got)
+	}
+	cdf := a.TransitionCDF(memlayout.KindHash, WtoW, []uint64{64})
+	if cdf[0] != 1 {
+		t.Errorf("WtoW CDF = %v", cdf)
+	}
+	if z := a.TransitionCDF(memlayout.KindCounter, WtoW, []uint64{64}); z[0] != 0 {
+		t.Error("empty transition CDF should be 0")
+	}
+}
+
+func TestClassesBimodal(t *testing.T) {
+	a := NewAnalyzer(0)
+	// Construct a stream where a counter block alternates between
+	// very short reuse (distance 0) and very long reuse (>512
+	// distinct blocks between).
+	hot := uint64(1 << 30)
+	for rep := 0; rep < 20; rep++ {
+		a.Record(hot, memlayout.KindCounter, false)
+		a.Record(hot, memlayout.KindCounter, false) // distance 0
+		for i := 0; i < 600; i++ {
+			a.Record(uint64(rep*600+i+1)*64, memlayout.KindHash, false)
+		}
+	}
+	c := a.Classes(memlayout.KindCounter)
+	if c[0] < 0.4 {
+		t.Errorf("short class = %v, want ~0.5", c[0])
+	}
+	if c[3] < 0.4 {
+		t.Errorf("long class = %v, want ~0.5 (incl. cold)", c[3])
+	}
+	if c[1]+c[2] > 0.15 {
+		t.Errorf("middle classes = %v, want near zero", c[1]+c[2])
+	}
+	if s := a.BimodalityScore(memlayout.KindCounter); s < 0.85 {
+		t.Errorf("bimodality score = %v", s)
+	}
+	var zero Analyzer
+	zero.total = map[memlayout.Kind]uint64{}
+	if c := zero.Classes(memlayout.KindHash); c != [4]float64{} {
+		t.Error("empty classes should be zero")
+	}
+}
+
+func TestClassesSumToOne(t *testing.T) {
+	a := NewAnalyzer(0)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20000; i++ {
+		a.Record(uint64(rng.Intn(2048))*64, memlayout.KindTree, rng.Intn(3) == 0)
+	}
+	c := a.Classes(memlayout.KindTree)
+	sum := c[0] + c[1] + c[2] + c[3]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("classes sum to %v: %v", sum, c)
+	}
+}

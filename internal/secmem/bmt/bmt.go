@@ -1,0 +1,174 @@
+// Package bmt implements a functional Bonsai Merkle Tree: an 8-ary
+// hash tree of truncated HMACs over the encryption-counter region,
+// with the root held on chip. It detects tampering with — and replay
+// of — counter blocks and tree nodes stored in off-chip memory.
+package bmt
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/secmem/mac"
+	"github.com/maps-sim/mapsim/internal/secmem/store"
+)
+
+// VerificationError reports an integrity-check failure during a tree
+// walk.
+type VerificationError struct {
+	// Addr is the block whose stored HMAC did not match.
+	Addr memlayout.Addr
+	// Level is the tree level of the mismatching parent, or -1 when
+	// the mismatch was against the on-chip root.
+	Level int
+}
+
+func (e *VerificationError) Error() string {
+	if e.Level < 0 {
+		return fmt.Sprintf("bmt: block %#x fails verification against the on-chip root", e.Addr)
+	}
+	return fmt.Sprintf("bmt: block %#x fails verification at tree level %d", e.Addr, e.Level)
+}
+
+// Tree verifies and maintains the integrity tree over the counter
+// region of a layout. Tree nodes live in the backing store like any
+// other metadata; only the root digest is on chip.
+type Tree struct {
+	layout *memlayout.Layout
+	mem    *store.Memory
+	keyed  *mac.Keyed
+	root   mac.Tag
+}
+
+// New creates a tree for the given layout over mem, keyed with k, and
+// builds the initial tree from the current counter-region contents.
+func New(layout *memlayout.Layout, mem *store.Memory, k *mac.Keyed) *Tree {
+	t := &Tree{layout: layout, mem: mem, keyed: k}
+	t.Rebuild()
+	return t
+}
+
+// Root returns the current on-chip root digest.
+func (t *Tree) Root() mac.Tag { return t.root }
+
+// Rebuild recomputes every tree node from the counter region and
+// refreshes the on-chip root. Used at initialization and by tests.
+func (t *Tree) Rebuild() {
+	var child, node [memlayout.BlockSize]byte
+	// Level 0: hash counter blocks.
+	for lev := 0; lev < t.layout.TreeLevels(); lev++ {
+		for idx := uint64(0); idx < t.layout.TreeLevelBlocks(lev); idx++ {
+			nodeAddr := t.layout.TreeAddr(lev, idx)
+			node = [memlayout.BlockSize]byte{}
+			for slot := 0; slot < memlayout.TreeArity; slot++ {
+				childAddr, ok := t.childAddr(lev, idx, slot)
+				if !ok {
+					break
+				}
+				t.mem.Read(childAddr, &child)
+				tag := t.keyed.Sum(childAddr, 0, child[:])
+				copy(node[slot*mac.Size:(slot+1)*mac.Size], tag[:])
+			}
+			t.mem.Write(nodeAddr, &node)
+		}
+	}
+	top := t.layout.TreeAddr(t.layout.TreeLevels()-1, 0)
+	t.mem.Read(top, &node)
+	t.root = t.keyed.Sum(top, 0, node[:])
+}
+
+// childAddr returns the address of child `slot` of node idx at level
+// lev, or ok=false if that slot is beyond the populated children.
+func (t *Tree) childAddr(lev int, idx uint64, slot int) (memlayout.Addr, bool) {
+	childIdx := idx*memlayout.TreeArity + uint64(slot)
+	if lev == 0 {
+		if childIdx >= t.layout.CounterBlocks() {
+			return 0, false
+		}
+		return t.layout.CounterAddr(0) + childIdx*memlayout.BlockSize, true
+	}
+	if childIdx >= t.layout.TreeLevelBlocks(lev-1) {
+		return 0, false
+	}
+	return t.layout.TreeAddr(lev-1, childIdx), true
+}
+
+// VerifyCounter checks the integrity of the counter block at
+// counterAddr by walking its chain of tree nodes up to the on-chip
+// root. It returns a *VerificationError if any stored HMAC
+// mismatches.
+//
+// VerifyCounter models the full (uncached) traversal; the engine
+// layered above decides how far to walk based on metadata-cache hits.
+func (t *Tree) VerifyCounter(counterAddr memlayout.Addr) error {
+	var blk, parentBlk [memlayout.BlockSize]byte
+	addr := counterAddr
+	t.mem.Read(addr, &blk)
+	for {
+		parent := t.layout.Parent(addr)
+		tag := t.keyed.Sum(addr, 0, blk[:])
+		if parent == memlayout.RootAddr {
+			if tag != t.root {
+				return &VerificationError{Addr: addr, Level: -1}
+			}
+			return nil
+		}
+		t.mem.Read(parent, &parentBlk)
+		slot := t.layout.ChildSlot(addr)
+		var stored mac.Tag
+		copy(stored[:], parentBlk[slot*mac.Size:(slot+1)*mac.Size])
+		if tag != stored {
+			_, lev := t.layout.Classify(parent)
+			return &VerificationError{Addr: addr, Level: lev}
+		}
+		addr, blk = parent, parentBlk
+	}
+}
+
+// VerifyNode checks a single parent-child link: that the stored HMAC
+// for the block at addr (a counter block or tree node) matches its
+// parent's record. It is the unit step the engine uses when a cached
+// ancestor truncates the walk.
+func (t *Tree) VerifyNode(addr memlayout.Addr) error {
+	var blk, parentBlk [memlayout.BlockSize]byte
+	t.mem.Read(addr, &blk)
+	tag := t.keyed.Sum(addr, 0, blk[:])
+	parent := t.layout.Parent(addr)
+	if parent == memlayout.RootAddr {
+		if tag != t.root {
+			return &VerificationError{Addr: addr, Level: -1}
+		}
+		return nil
+	}
+	t.mem.Read(parent, &parentBlk)
+	slot := t.layout.ChildSlot(addr)
+	var stored mac.Tag
+	copy(stored[:], parentBlk[slot*mac.Size:(slot+1)*mac.Size])
+	if tag != stored {
+		_, lev := t.layout.Classify(parent)
+		return &VerificationError{Addr: addr, Level: lev}
+	}
+	return nil
+}
+
+// UpdateCounter re-hashes the chain above counterAddr after its
+// counter block has been written, updating every tree node on the
+// path and the on-chip root. The write of the counter block itself is
+// the caller's responsibility and must happen first.
+func (t *Tree) UpdateCounter(counterAddr memlayout.Addr) {
+	var blk, parentBlk [memlayout.BlockSize]byte
+	addr := counterAddr
+	t.mem.Read(addr, &blk)
+	for {
+		tag := t.keyed.Sum(addr, 0, blk[:])
+		parent := t.layout.Parent(addr)
+		if parent == memlayout.RootAddr {
+			t.root = tag
+			return
+		}
+		t.mem.Read(parent, &parentBlk)
+		slot := t.layout.ChildSlot(addr)
+		copy(parentBlk[slot*mac.Size:(slot+1)*mac.Size], tag[:])
+		t.mem.Write(parent, &parentBlk)
+		addr, blk = parent, parentBlk
+	}
+}

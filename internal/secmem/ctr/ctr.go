@@ -1,0 +1,193 @@
+// Package ctr implements the counter-mode encryption layer of secure
+// memory: counter block formats for the split-counter (PoisonIvy) and
+// monolithic (SGX) organizations, and AES-based one-time-pad
+// generation.
+//
+// A pad is derived from (block address, counter seed) and never reused
+// because the seed is strictly increasing across every write of a
+// block: incrementing a minor counter increases it, and a minor
+// overflow bumps the shared major counter, which increases the seed of
+// every block in the page even though the minors reset.
+package ctr
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+// Geometry of the split-counter block: one 8 B major counter plus
+// sixty-four 7 b minors packs exactly into 64 B (8 + 64*7/8 = 64).
+const (
+	// MinorBits is the width of a per-block minor counter.
+	MinorBits = 7
+	// MinorLimit is the value at which a minor counter overflows and
+	// forces a page re-encryption.
+	MinorLimit = 1 << MinorBits
+	// PIMinors is the number of minor counters in a PI counter block.
+	PIMinors = memlayout.BlocksPerPage
+	// SGXCounters is the number of 8 B counters in an SGX counter
+	// block.
+	SGXCounters = memlayout.BlockSize / 8
+)
+
+// PIBlock is a split-counter block: a per-page major counter and one
+// 7-bit minor counter per 64 B data block in the page.
+type PIBlock struct {
+	Major uint64
+	Minor [PIMinors]uint8
+}
+
+// Seed returns the encryption seed for the data block at the given
+// slot. Seeds strictly increase across writes (see package comment).
+func (b *PIBlock) Seed(slot int) uint64 {
+	return b.Major<<MinorBits | uint64(b.Minor[slot])
+}
+
+// Increment advances the minor counter for slot prior to a write.
+// If the minor overflows, the major counter is incremented, every
+// minor resets to zero, and Increment reports true: the caller must
+// re-encrypt all blocks of the page with their new seeds.
+func (b *PIBlock) Increment(slot int) (overflow bool) {
+	b.Minor[slot]++
+	if b.Minor[slot] < MinorLimit {
+		return false
+	}
+	b.Major++
+	b.Minor = [PIMinors]uint8{}
+	return true
+}
+
+// Encode packs the block into its 64 B memory representation:
+// bytes 0..7 hold the major counter, bytes 8..63 hold the 64 packed
+// 7-bit minors.
+func (b *PIBlock) Encode(dst *[memlayout.BlockSize]byte) {
+	*dst = [memlayout.BlockSize]byte{}
+	binary.LittleEndian.PutUint64(dst[0:8], b.Major)
+	for i, m := range b.Minor {
+		if m >= MinorLimit {
+			panic(fmt.Sprintf("ctr: minor %d out of range: %d", i, m))
+		}
+		putBits(dst[8:], uint(i)*MinorBits, MinorBits, uint64(m))
+	}
+}
+
+// Decode unpacks a 64 B memory representation.
+func (b *PIBlock) Decode(src *[memlayout.BlockSize]byte) {
+	b.Major = binary.LittleEndian.Uint64(src[0:8])
+	for i := range b.Minor {
+		b.Minor[i] = uint8(getBits(src[8:], uint(i)*MinorBits, MinorBits))
+	}
+}
+
+// SGXBlock is a monolithic counter block: eight 8 B counters, one per
+// 64 B data block.
+type SGXBlock struct {
+	Ctr [SGXCounters]uint64
+}
+
+// Seed returns the encryption seed for the given slot.
+func (b *SGXBlock) Seed(slot int) uint64 { return b.Ctr[slot] }
+
+// Increment advances the counter for slot. A 64-bit counter never
+// overflows in practice, so Increment always reports false.
+func (b *SGXBlock) Increment(slot int) (overflow bool) {
+	b.Ctr[slot]++
+	return false
+}
+
+// Encode packs the block into its 64 B memory representation.
+func (b *SGXBlock) Encode(dst *[memlayout.BlockSize]byte) {
+	for i, c := range b.Ctr {
+		binary.LittleEndian.PutUint64(dst[i*8:(i+1)*8], c)
+	}
+}
+
+// Decode unpacks a 64 B memory representation.
+func (b *SGXBlock) Decode(src *[memlayout.BlockSize]byte) {
+	for i := range b.Ctr {
+		b.Ctr[i] = binary.LittleEndian.Uint64(src[i*8 : (i+1)*8])
+	}
+}
+
+// putBits writes width bits of v at bit offset off into buf.
+func putBits(buf []byte, off, width uint, v uint64) {
+	for i := uint(0); i < width; i++ {
+		bit := (v >> i) & 1
+		pos := off + i
+		if bit != 0 {
+			buf[pos/8] |= 1 << (pos % 8)
+		} else {
+			buf[pos/8] &^= 1 << (pos % 8)
+		}
+	}
+}
+
+// getBits reads width bits at bit offset off from buf.
+func getBits(buf []byte, off, width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		pos := off + i
+		if buf[pos/8]&(1<<(pos%8)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Pad is a 64 B one-time pad.
+type Pad [memlayout.BlockSize]byte
+
+// Cipher generates one-time pads with AES in counter mode. The slow
+// pad generation is what real hardware overlaps with the DRAM access;
+// here it provides the functional confidentiality guarantee.
+type Cipher struct {
+	block cipher.Block
+}
+
+// NewCipher creates a pad generator from a 16, 24, or 32-byte AES key.
+func NewCipher(key []byte) (*Cipher, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("ctr: %w", err)
+	}
+	return &Cipher{block: b}, nil
+}
+
+// MustNewCipher is NewCipher but panics on error.
+func MustNewCipher(key []byte) *Cipher {
+	c, err := NewCipher(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Pad derives the 64 B one-time pad for the data block at addr
+// encrypted under the given counter seed. addr must be 64 B aligned;
+// its free low bits index the four AES blocks of the pad.
+func (c *Cipher) Pad(addr, seed uint64) Pad {
+	if addr%memlayout.BlockSize != 0 {
+		panic(fmt.Sprintf("ctr: unaligned address %#x", addr))
+	}
+	var pad Pad
+	var in [aes.BlockSize]byte
+	for i := 0; i < memlayout.BlockSize/aes.BlockSize; i++ {
+		binary.LittleEndian.PutUint64(in[0:8], addr|uint64(i))
+		binary.LittleEndian.PutUint64(in[8:16], seed)
+		c.block.Encrypt(pad[i*aes.BlockSize:(i+1)*aes.BlockSize], in[:])
+	}
+	return pad
+}
+
+// XOR applies pad to src, writing the result to dst. Because XOR is
+// an involution, the same call encrypts and decrypts. dst and src may
+// be the same block.
+func XOR(dst, src *[memlayout.BlockSize]byte, pad *Pad) {
+	for i := range dst {
+		dst[i] = src[i] ^ pad[i]
+	}
+}

@@ -1,0 +1,236 @@
+package ctr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+func TestPIBlockEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var b PIBlock
+		b.Major = rng.Uint64()
+		for j := range b.Minor {
+			b.Minor[j] = uint8(rng.Intn(MinorLimit))
+		}
+		var enc [memlayout.BlockSize]byte
+		b.Encode(&enc)
+		var got PIBlock
+		got.Decode(&enc)
+		if got != b {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, b)
+		}
+	}
+}
+
+func TestPIBlockEncodePanicsOnBadMinor(t *testing.T) {
+	var b PIBlock
+	b.Minor[3] = MinorLimit
+	var enc [memlayout.BlockSize]byte
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range minor")
+		}
+	}()
+	b.Encode(&enc)
+}
+
+func TestPIBlockPackingIsExact(t *testing.T) {
+	// All-ones minors and major must fit with no spill: 8 + 56 = 64.
+	var b PIBlock
+	b.Major = ^uint64(0)
+	for j := range b.Minor {
+		b.Minor[j] = MinorLimit - 1
+	}
+	var enc [memlayout.BlockSize]byte
+	b.Encode(&enc)
+	var got PIBlock
+	got.Decode(&enc)
+	if got != b {
+		t.Fatal("max-value block does not round trip")
+	}
+}
+
+func TestPIIncrementOverflow(t *testing.T) {
+	var b PIBlock
+	b.Minor[5] = 3
+	for i := 0; i < MinorLimit-1; i++ {
+		if b.Increment(0) {
+			t.Fatalf("unexpected overflow at minor=%d", i)
+		}
+	}
+	if b.Minor[0] != MinorLimit-1 {
+		t.Fatalf("minor[0] = %d, want %d", b.Minor[0], MinorLimit-1)
+	}
+	if !b.Increment(0) {
+		t.Fatal("expected overflow")
+	}
+	if b.Major != 1 {
+		t.Errorf("major = %d, want 1 after overflow", b.Major)
+	}
+	for j, m := range b.Minor {
+		if m != 0 {
+			t.Errorf("minor[%d] = %d, want 0 after page reset", j, m)
+		}
+	}
+}
+
+func TestPISeedStrictlyIncreases(t *testing.T) {
+	// Across hundreds of interleaved writes to two slots of the same
+	// page, each slot's seed must strictly increase (pad uniqueness).
+	var b PIBlock
+	prev := map[int]uint64{0: b.Seed(0), 7: b.Seed(7)}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		slot := []int{0, 7}[rng.Intn(2)]
+		b.Increment(slot)
+		for _, s := range []int{0, 7} {
+			// The written slot must strictly increase; the other may
+			// only increase (page overflow bumps it too).
+			seed := b.Seed(s)
+			if s == slot && seed <= prev[s] {
+				t.Fatalf("seed for slot %d did not increase: %d -> %d", s, prev[s], seed)
+			}
+			if seed < prev[s] {
+				t.Fatalf("seed for slot %d decreased: %d -> %d", s, prev[s], seed)
+			}
+			prev[s] = seed
+		}
+	}
+}
+
+func TestSGXBlockRoundTrip(t *testing.T) {
+	f := func(c0, c1, c2, c3, c4, c5, c6, c7 uint64) bool {
+		b := SGXBlock{Ctr: [SGXCounters]uint64{c0, c1, c2, c3, c4, c5, c6, c7}}
+		var enc [memlayout.BlockSize]byte
+		b.Encode(&enc)
+		var got SGXBlock
+		got.Decode(&enc)
+		return got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGXIncrement(t *testing.T) {
+	var b SGXBlock
+	if b.Increment(2) {
+		t.Error("SGX increment should not overflow")
+	}
+	if b.Ctr[2] != 1 || b.Ctr[0] != 0 {
+		t.Errorf("unexpected counters: %v", b.Ctr)
+	}
+	if b.Seed(2) != 1 {
+		t.Errorf("seed = %d, want 1", b.Seed(2))
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	buf := make([]byte, 56)
+	putBits(buf, 3, 7, 0x55)
+	if got := getBits(buf, 3, 7); got != 0x55 {
+		t.Fatalf("getBits = %#x, want 0x55", got)
+	}
+	// Overwrite with zeros clears.
+	putBits(buf, 3, 7, 0)
+	if got := getBits(buf, 3, 7); got != 0 {
+		t.Fatalf("getBits after clear = %#x", got)
+	}
+	// Neighbors untouched.
+	putBits(buf, 0, 7, 0x7f)
+	putBits(buf, 7, 7, 0)
+	if got := getBits(buf, 0, 7); got != 0x7f {
+		t.Fatalf("neighbor clobbered: %#x", got)
+	}
+}
+
+func TestCipherKeyValidation(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 15)); err == nil {
+		t.Error("15-byte key should fail")
+	}
+	for _, n := range []int{16, 24, 32} {
+		if _, err := NewCipher(make([]byte, n)); err != nil {
+			t.Errorf("%d-byte key: %v", n, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewCipher should panic on bad key")
+		}
+	}()
+	MustNewCipher(nil)
+}
+
+func TestPadEncryptDecrypt(t *testing.T) {
+	c := MustNewCipher(bytes.Repeat([]byte{0xA5}, 16))
+	var plain, enc, dec [memlayout.BlockSize]byte
+	copy(plain[:], "the quick brown fox jumps over the lazy dog 0123456789abcdef!!")
+	pad := c.Pad(0x1000, 42)
+	XOR(&enc, &plain, &pad)
+	if enc == plain {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	pad2 := c.Pad(0x1000, 42)
+	XOR(&dec, &enc, &pad2)
+	if dec != plain {
+		t.Fatal("decrypt did not restore plaintext")
+	}
+}
+
+func TestPadUniqueness(t *testing.T) {
+	c := MustNewCipher(make([]byte, 16))
+	seen := map[Pad]string{}
+	add := func(name string, p Pad) {
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("pad collision between %s and %s", name, prev)
+		}
+		seen[p] = name
+	}
+	add("a0s0", c.Pad(0, 0))
+	add("a0s1", c.Pad(0, 1))
+	add("a64s0", c.Pad(64, 0))
+	add("a64s1", c.Pad(64, 1))
+	add("a128s7", c.Pad(128, 7))
+}
+
+func TestPadQuartersDiffer(t *testing.T) {
+	// The four 16 B AES blocks inside one pad must differ (distinct
+	// counter inputs).
+	c := MustNewCipher(make([]byte, 16))
+	p := c.Pad(4096, 9)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if bytes.Equal(p[i*16:(i+1)*16], p[j*16:(j+1)*16]) {
+				t.Fatalf("pad quarters %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestPadPanicsOnUnaligned(t *testing.T) {
+	c := MustNewCipher(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unaligned address")
+		}
+	}()
+	c.Pad(3, 0)
+}
+
+func TestXORInPlace(t *testing.T) {
+	c := MustNewCipher(make([]byte, 16))
+	var b [memlayout.BlockSize]byte
+	copy(b[:], "in-place")
+	orig := b
+	pad := c.Pad(0, 5)
+	XOR(&b, &b, &pad)
+	XOR(&b, &b, &pad)
+	if b != orig {
+		t.Fatal("in-place double XOR did not restore")
+	}
+}

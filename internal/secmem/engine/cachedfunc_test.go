@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+func newCached(t *testing.T) *CachedFunctional {
+	t.Helper()
+	layout := memlayout.MustNew(memlayout.PoisonIvy, 4<<20)
+	f, err := NewFunctional(layout, make([]byte, 16), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCachedFunctional(f, 8*64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCachedFunctionalGeometryValidation(t *testing.T) {
+	layout := memlayout.MustNew(memlayout.PoisonIvy, 1<<20)
+	f, err := NewFunctional(layout, make([]byte, 16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCachedFunctional(f, 100, 3); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+}
+
+func TestCachedHitSkipsTreeWalk(t *testing.T) {
+	c := newCached(t)
+	var in, out Block
+	fill(&in, 1)
+	if err := c.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	walks := c.TreeWalks
+	// Repeated loads of the same page hit the cached counter: no
+	// further walks.
+	for i := 0; i < 10; i++ {
+		if err := c.Load(0, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.TreeWalks != walks {
+		t.Errorf("cached loads walked the tree %d more times", c.TreeWalks-walks)
+	}
+	if out != in {
+		t.Error("round trip corrupted")
+	}
+	if c.CounterHits == 0 {
+		t.Error("no counter hits recorded")
+	}
+}
+
+func TestCachedCounterImmuneToMemoryTamper(t *testing.T) {
+	// The paper's security argument: once verified into the on-chip
+	// cache, the counter is inside the trust boundary. Tampering with
+	// the DRAM copy must not affect cached operation...
+	c := newCached(t)
+	var in, out Block
+	fill(&in, 2)
+	if err := c.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	cAddr := c.Functional().Layout().CounterAddr(0)
+	c.Functional().Memory().FlipBit(cAddr, 5)
+
+	// Cached: load still succeeds using the trusted on-chip copy.
+	if err := c.Load(0, &out); err != nil || out != in {
+		t.Fatalf("cached load after DRAM tamper: %v", err)
+	}
+
+	// ...but once the cached copy is lost, the tampered DRAM copy
+	// must fail verification on refetch.
+	c.Invalidate(0)
+	if err := c.Load(0, &out); err == nil {
+		t.Fatal("tampered counter re-admitted without detection")
+	}
+}
+
+func TestCachedStoreKeepsCopyCoherent(t *testing.T) {
+	c := newCached(t)
+	var v1, v2, out Block
+	fill(&v1, 3)
+	fill(&v2, 4)
+	if err := c.Store(64, &v1); err != nil {
+		t.Fatal(err)
+	}
+	// Store again (counter bumps); the cached copy must track it so
+	// the next cached load decrypts with the right seed.
+	if err := c.Store(64, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(64, &out); err != nil || out != v2 {
+		t.Fatalf("cached load after rewrite: %v", err)
+	}
+}
+
+func TestCachedEvictionForcesReverify(t *testing.T) {
+	c := newCached(t)
+	var in, out Block
+	// Touch more pages than the 8-entry cache holds (distinct counter
+	// blocks), evicting early entries.
+	for p := uint64(0); p < 20; p++ {
+		fill(&in, byte(p))
+		if err := c.Store(p*memlayout.PageSize, &in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walks := c.TreeWalks
+	// Page 0's counter was evicted: this load re-verifies.
+	if err := c.Load(0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if c.TreeWalks != walks+1 {
+		t.Errorf("expected one re-verification walk, got %d", c.TreeWalks-walks)
+	}
+}
+
+func TestCachedRejectsBadAddresses(t *testing.T) {
+	c := newCached(t)
+	var out Block
+	if err := c.Load(c.Functional().Layout().DataBytes(), &out); err == nil {
+		t.Error("out-of-range load accepted")
+	}
+	if err := c.Load(0, &out); err == nil {
+		t.Error("uninitialized load accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/secmem/bmt"
+	"github.com/maps-sim/mapsim/internal/secmem/ctr"
+	"github.com/maps-sim/mapsim/internal/secmem/mac"
+	"github.com/maps-sim/mapsim/internal/secmem/store"
+)
+
+// Functional is the end-to-end secure memory controller: it really
+// encrypts data with counter-derived one-time pads, really verifies
+// truncated HMACs and the Bonsai Merkle Tree, and therefore really
+// detects the physical attacks the architecture defends against.
+// MAPS's characterization runs use the timing Engine; Functional
+// exists so the substrate's security claims are testable, and it
+// backs the tamper-detection example.
+type Functional struct {
+	layout *memlayout.Layout
+	mem    *store.Memory
+	cipher *ctr.Cipher
+	keyed  *mac.Keyed
+	tree   *bmt.Tree
+	// initialized tracks blocks that have been stored at least once;
+	// blocks never written have no valid HMAC and cannot be loaded.
+	initialized map[uint64]bool
+}
+
+// Block is a 64 B data block.
+type Block = [memlayout.BlockSize]byte
+
+// NewFunctional builds a functional controller over a fresh backing
+// store. encKey is the AES pad key (16/24/32 bytes); macKey keys
+// every HMAC. Layouts above 256 MB of data are rejected: the
+// functional path materializes tree state eagerly.
+func NewFunctional(layout *memlayout.Layout, encKey, macKey []byte) (*Functional, error) {
+	if layout.DataBytes() > 256<<20 {
+		return nil, fmt.Errorf("engine: functional mode supports up to 256 MB of data, got %d", layout.DataBytes())
+	}
+	cipher, err := ctr.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := store.New(layout.TotalBytes())
+	if err != nil {
+		return nil, err
+	}
+	keyed := mac.New(macKey)
+	f := &Functional{
+		layout:      layout,
+		mem:         mem,
+		cipher:      cipher,
+		keyed:       keyed,
+		tree:        bmt.New(layout, mem, keyed),
+		initialized: make(map[uint64]bool),
+	}
+	return f, nil
+}
+
+// Memory exposes the backing store so tests and examples can mount
+// physical attacks against it.
+func (f *Functional) Memory() *store.Memory { return f.mem }
+
+// Layout exposes the address map.
+func (f *Functional) Layout() *memlayout.Layout { return f.layout }
+
+// Root returns the current on-chip tree root.
+func (f *Functional) Root() mac.Tag { return f.tree.Root() }
+
+// counterBlock loads and decodes the counter block at cAddr.
+func (f *Functional) counterBlock(cAddr uint64) (pi ctr.PIBlock, sgx ctr.SGXBlock) {
+	var raw Block
+	f.mem.Read(cAddr, &raw)
+	if f.layout.Organization() == memlayout.SGX {
+		sgx.Decode(&raw)
+	} else {
+		pi.Decode(&raw)
+	}
+	return pi, sgx
+}
+
+// seedOf returns the encryption seed for dataAddr from its decoded
+// counter block.
+func (f *Functional) seedOf(dataAddr uint64) uint64 {
+	cAddr := f.layout.CounterAddr(dataAddr)
+	slot := f.layout.CounterSlot(dataAddr)
+	pi, sgx := f.counterBlock(cAddr)
+	if f.layout.Organization() == memlayout.SGX {
+		return sgx.Seed(slot)
+	}
+	return pi.Seed(slot)
+}
+
+// seedFromBlock returns dataAddr's encryption seed from an
+// already-verified counter block image (the cached-functional path).
+func (f *Functional) seedFromBlock(dataAddr uint64, raw *Block) uint64 {
+	slot := f.layout.CounterSlot(dataAddr)
+	if f.layout.Organization() == memlayout.SGX {
+		var blk ctr.SGXBlock
+		blk.Decode(raw)
+		return blk.Seed(slot)
+	}
+	var blk ctr.PIBlock
+	blk.Decode(raw)
+	return blk.Seed(slot)
+}
+
+// Store encrypts plaintext and writes it to dataAddr, incrementing
+// the block's counter, updating the data HMAC, and maintaining the
+// integrity tree (including page re-encryption on minor-counter
+// overflow).
+func (f *Functional) Store(dataAddr uint64, plaintext *Block) error {
+	dataAddr = memlayout.BlockOf(dataAddr)
+	if !f.layout.Contains(dataAddr) {
+		return fmt.Errorf("engine: address %#x outside protected data", dataAddr)
+	}
+	cAddr := f.layout.CounterAddr(dataAddr)
+	slot := f.layout.CounterSlot(dataAddr)
+
+	// Verify the counter block before trusting and bumping it.
+	if err := f.tree.VerifyCounter(cAddr); err != nil {
+		return fmt.Errorf("engine: counter verification before store: %w", err)
+	}
+
+	var raw Block
+	f.mem.Read(cAddr, &raw)
+	if f.layout.Organization() == memlayout.SGX {
+		var blk ctr.SGXBlock
+		blk.Decode(&raw)
+		blk.Increment(slot)
+		blk.Encode(&raw)
+		f.mem.Write(cAddr, &raw)
+		f.tree.UpdateCounter(cAddr)
+		f.writeBlock(dataAddr, plaintext, blk.Seed(slot))
+		return nil
+	}
+
+	var blk ctr.PIBlock
+	blk.Decode(&raw)
+	overflow := blk.Increment(slot)
+	if overflow {
+		// Re-encrypt the whole page under the new major counter.
+		// Old seeds are reconstructed from the pre-overflow block:
+		// the minors were valid right up to the reset.
+		var old ctr.PIBlock
+		old.Decode(&raw)
+		if err := f.reencryptPage(dataAddr, &old, &blk); err != nil {
+			return err
+		}
+	}
+	blk.Encode(&raw)
+	f.mem.Write(cAddr, &raw)
+	f.tree.UpdateCounter(cAddr)
+	f.writeBlock(dataAddr, plaintext, blk.Seed(slot))
+	return nil
+}
+
+// writeBlock encrypts and writes one data block and its HMAC.
+func (f *Functional) writeBlock(dataAddr uint64, plaintext *Block, seed uint64) {
+	pad := f.cipher.Pad(dataAddr, seed)
+	var ciphertext Block
+	ctr.XOR(&ciphertext, plaintext, &pad)
+	f.mem.Write(dataAddr, &ciphertext)
+
+	// Data HMAC binds address, seed, and ciphertext.
+	tag := f.keyed.Sum(dataAddr, seed, ciphertext[:])
+	hAddr := f.layout.HashAddr(dataAddr)
+	hSlot := f.layout.HashSlot(dataAddr)
+	var hashBlk Block
+	f.mem.Read(hAddr, &hashBlk)
+	copy(hashBlk[hSlot*mac.Size:(hSlot+1)*mac.Size], tag[:])
+	f.mem.Write(hAddr, &hashBlk)
+	f.initialized[dataAddr] = true
+}
+
+// reencryptPage decrypts every block of dataAddr's page under its old
+// seed and re-encrypts under the new counter block's seeds.
+func (f *Functional) reencryptPage(dataAddr uint64, old, new_ *ctr.PIBlock) error {
+	page := memlayout.PageOf(dataAddr)
+	for b := uint64(0); b < memlayout.BlocksPerPage; b++ {
+		addr := page + b*memlayout.BlockSize
+		if !f.initialized[addr] {
+			continue // never written: nothing to re-encrypt
+		}
+		slot := f.layout.CounterSlot(addr)
+		var ciphertext, plaintext Block
+		f.mem.Read(addr, &ciphertext)
+		oldSeed := old.Seed(slot)
+		// Verify against the stored HMAC before re-encrypting.
+		if !f.verifyData(addr, oldSeed, &ciphertext) {
+			return &IntegrityError{Addr: addr, Reason: "data HMAC mismatch during page re-encryption"}
+		}
+		pad := f.cipher.Pad(addr, oldSeed)
+		ctr.XOR(&plaintext, &ciphertext, &pad)
+		f.writeBlock(addr, &plaintext, new_.Seed(slot))
+	}
+	return nil
+}
+
+// verifyData checks a data block's stored HMAC.
+func (f *Functional) verifyData(dataAddr uint64, seed uint64, ciphertext *Block) bool {
+	hAddr := f.layout.HashAddr(dataAddr)
+	hSlot := f.layout.HashSlot(dataAddr)
+	var hashBlk Block
+	f.mem.Read(hAddr, &hashBlk)
+	var stored mac.Tag
+	copy(stored[:], hashBlk[hSlot*mac.Size:(hSlot+1)*mac.Size])
+	return f.keyed.Verify(dataAddr, seed, ciphertext[:], stored)
+}
+
+// IntegrityError reports a detected physical attack.
+type IntegrityError struct {
+	Addr   uint64
+	Reason string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("engine: integrity violation at %#x: %s", e.Addr, e.Reason)
+}
+
+// Load fetches, verifies, and decrypts the data block at dataAddr.
+// Any tampering with the data, its hash, its counter, or the tree
+// yields an error instead of plaintext.
+func (f *Functional) Load(dataAddr uint64, plaintext *Block) error {
+	dataAddr = memlayout.BlockOf(dataAddr)
+	if !f.layout.Contains(dataAddr) {
+		return fmt.Errorf("engine: address %#x outside protected data", dataAddr)
+	}
+	if !f.initialized[dataAddr] {
+		return fmt.Errorf("engine: block %#x was never stored", dataAddr)
+	}
+	cAddr := f.layout.CounterAddr(dataAddr)
+	if err := f.tree.VerifyCounter(cAddr); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	seed := f.seedOf(dataAddr)
+	var ciphertext Block
+	f.mem.Read(dataAddr, &ciphertext)
+	if !f.verifyData(dataAddr, seed, &ciphertext) {
+		return &IntegrityError{Addr: dataAddr, Reason: "data HMAC mismatch"}
+	}
+	pad := f.cipher.Pad(dataAddr, seed)
+	ctr.XOR(plaintext, &ciphertext, &pad)
+	return nil
+}

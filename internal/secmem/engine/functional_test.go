@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+func newFunctional(t testing.TB, org memlayout.Organization) *Functional {
+	t.Helper()
+	layout := memlayout.MustNew(org, 4<<20)
+	f, err := NewFunctional(layout, bytes.Repeat([]byte{1}, 16), []byte("mac key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func fill(b *Block, seed byte) {
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+}
+
+func TestFunctionalRejectsHugeLayouts(t *testing.T) {
+	layout := memlayout.MustNew(memlayout.PoisonIvy, 512<<20)
+	if _, err := NewFunctional(layout, make([]byte, 16), nil); err == nil {
+		t.Error("512MB functional layout accepted")
+	}
+	layout2 := memlayout.MustNew(memlayout.PoisonIvy, 1<<20)
+	if _, err := NewFunctional(layout2, make([]byte, 5), nil); err == nil {
+		t.Error("bad AES key accepted")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	for _, org := range []memlayout.Organization{memlayout.PoisonIvy, memlayout.SGX} {
+		f := newFunctional(t, org)
+		var in, out Block
+		fill(&in, 7)
+		if err := f.Store(4096, &in); err != nil {
+			t.Fatalf("%v store: %v", org, err)
+		}
+		if err := f.Load(4096, &out); err != nil {
+			t.Fatalf("%v load: %v", org, err)
+		}
+		if in != out {
+			t.Fatalf("%v round trip corrupted data", org)
+		}
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in Block
+	fill(&in, 3)
+	if err := f.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	stored := f.Memory().Snapshot(0)
+	if stored == in {
+		t.Fatal("data stored in plaintext")
+	}
+}
+
+func TestSameDataTwiceDifferentCiphertext(t *testing.T) {
+	// The counter bump guarantees fresh pads: storing identical
+	// plaintext twice must yield different ciphertexts.
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in Block
+	fill(&in, 9)
+	if err := f.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	first := f.Memory().Snapshot(0)
+	if err := f.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	second := f.Memory().Snapshot(0)
+	if first == second {
+		t.Fatal("pad reuse: identical ciphertexts across writes")
+	}
+	var out Block
+	if err := f.Load(0, &out); err != nil || out != in {
+		t.Fatalf("load after rewrite: %v", err)
+	}
+}
+
+func TestLoadUninitialized(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var out Block
+	if err := f.Load(0, &out); err == nil {
+		t.Error("loading never-written block should fail")
+	}
+	if err := f.Load(f.Layout().DataBytes(), &out); err == nil {
+		t.Error("out-of-range load should fail")
+	}
+	if err := f.Store(f.Layout().DataBytes(), &out); err == nil {
+		t.Error("out-of-range store should fail")
+	}
+}
+
+func TestDataTamperDetected(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in, out Block
+	fill(&in, 1)
+	if err := f.Store(8192, &in); err != nil {
+		t.Fatal(err)
+	}
+	f.Memory().FlipBit(8192, 100)
+	err := f.Load(8192, &out)
+	var ierr *IntegrityError
+	if !errors.As(err, &ierr) {
+		t.Fatalf("tampered data loaded: %v", err)
+	}
+	if ierr.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestHashTamperDetected(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in, out Block
+	fill(&in, 2)
+	if err := f.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	f.Memory().FlipBit(f.Layout().HashAddr(0), 3)
+	if err := f.Load(0, &out); err == nil {
+		t.Fatal("tampered hash accepted")
+	}
+}
+
+func TestCounterTamperDetected(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in, out Block
+	fill(&in, 4)
+	if err := f.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	f.Memory().FlipBit(f.Layout().CounterAddr(0), 9)
+	if err := f.Load(0, &out); err == nil {
+		t.Fatal("tampered counter accepted")
+	}
+	// Stores must also refuse to trust a tampered counter.
+	if err := f.Store(0, &in); err == nil {
+		t.Fatal("store trusted a tampered counter")
+	}
+}
+
+func TestReplayAttackDetected(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var v1, v2, out Block
+	fill(&v1, 5)
+	fill(&v2, 6)
+	if err := f.Store(0, &v1); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker snapshots data + hash + counter.
+	dataSnap := f.Memory().Snapshot(0)
+	hashSnap := f.Memory().Snapshot(f.Layout().HashAddr(0))
+	ctrSnap := f.Memory().Snapshot(f.Layout().CounterAddr(0))
+
+	if err := f.Store(0, &v2); err != nil {
+		t.Fatal(err)
+	}
+	// Replay all three: only the tree (rooted on chip) can catch it.
+	f.Memory().Restore(0, dataSnap)
+	f.Memory().Restore(f.Layout().HashAddr(0), hashSnap)
+	f.Memory().Restore(f.Layout().CounterAddr(0), ctrSnap)
+	if err := f.Load(0, &out); err == nil {
+		t.Fatal("full replay (data+hash+counter) accepted — tree failed")
+	}
+}
+
+func TestPageReencryptionPreservesData(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	// Populate several blocks of one page.
+	blocks := map[uint64]Block{}
+	for b := uint64(0); b < 8; b++ {
+		var in Block
+		fill(&in, byte(b))
+		addr := b * memlayout.BlockSize
+		if err := f.Store(addr, &in); err != nil {
+			t.Fatal(err)
+		}
+		blocks[addr] = in
+	}
+	// Overflow block 0's minor counter: 127 more stores.
+	var v Block
+	fill(&v, 0xAA)
+	for i := 0; i < 127; i++ {
+		if err := f.Store(0, &v); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	blocks[0] = v
+	// All blocks still load correctly after re-encryption.
+	for addr, want := range blocks {
+		var out Block
+		if err := f.Load(addr, &out); err != nil {
+			t.Fatalf("load %#x after re-encryption: %v", addr, err)
+		}
+		if out != want {
+			t.Fatalf("block %#x corrupted by re-encryption", addr)
+		}
+	}
+}
+
+func TestRootChangesOnEveryStore(t *testing.T) {
+	f := newFunctional(t, memlayout.PoisonIvy)
+	var in Block
+	roots := map[[8]byte]bool{f.Root(): true}
+	for i := 0; i < 5; i++ {
+		fill(&in, byte(i))
+		if err := f.Store(uint64(i)*memlayout.PageSize, &in); err != nil {
+			t.Fatal(err)
+		}
+		r := f.Root()
+		if roots[r] {
+			t.Fatalf("root repeated after store %d", i)
+		}
+		roots[r] = true
+	}
+}

@@ -1,0 +1,55 @@
+// Package mac provides the keyed hashes used throughout secure
+// memory: truncated 8 B HMACs over block contents, bound to the
+// block's address and (for data blocks) its encryption seed so that
+// blocks cannot be spliced or replayed across locations.
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+// Size is the truncated HMAC length used by the paper's organization:
+// an 8 B HMAC per protected block.
+const Size = memlayout.HashSize
+
+// Tag is a truncated HMAC.
+type Tag [Size]byte
+
+// Keyed computes address-bound truncated HMACs under a fixed key.
+type Keyed struct {
+	key []byte
+}
+
+// New creates a Keyed MAC. The key is copied.
+func New(key []byte) *Keyed {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Keyed{key: k}
+}
+
+// Sum computes the tag over a block: HMAC-SHA-256(key, addr || seed ||
+// data) truncated to Size bytes. seed is the encryption counter seed
+// for data blocks and zero for metadata blocks (whose freshness is
+// guaranteed by the tree above them).
+func (k *Keyed) Sum(addr, seed uint64, data []byte) Tag {
+	h := hmac.New(sha256.New, k.key)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], addr)
+	binary.LittleEndian.PutUint64(hdr[8:16], seed)
+	h.Write(hdr[:])
+	h.Write(data)
+	var tag Tag
+	copy(tag[:], h.Sum(nil))
+	return tag
+}
+
+// Verify reports whether tag matches the block in constant time.
+func (k *Keyed) Verify(addr, seed uint64, data []byte, tag Tag) bool {
+	want := k.Sum(addr, seed, data)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}

@@ -1,0 +1,88 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	k := New([]byte("key"))
+	a := k.Sum(64, 1, []byte("hello"))
+	b := k.Sum(64, 1, []byte("hello"))
+	if a != b {
+		t.Fatal("same inputs produced different tags")
+	}
+}
+
+func TestSumBindsAllInputs(t *testing.T) {
+	k := New([]byte("key"))
+	base := k.Sum(64, 1, []byte("hello"))
+	if k.Sum(128, 1, []byte("hello")) == base {
+		t.Error("tag does not bind address")
+	}
+	if k.Sum(64, 2, []byte("hello")) == base {
+		t.Error("tag does not bind seed")
+	}
+	if k.Sum(64, 1, []byte("hellp")) == base {
+		t.Error("tag does not bind data")
+	}
+	if New([]byte("other")).Sum(64, 1, []byte("hello")) == base {
+		t.Error("tag does not bind key")
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	key := []byte("secret")
+	k := New(key)
+	before := k.Sum(0, 0, nil)
+	key[0] = 'X'
+	if k.Sum(0, 0, nil) != before {
+		t.Error("mutating the caller's key slice changed the MAC")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	k := New([]byte("key"))
+	data := []byte("block contents")
+	tag := k.Sum(4096, 7, data)
+	if !k.Verify(4096, 7, data, tag) {
+		t.Error("valid tag rejected")
+	}
+	bad := tag
+	bad[0] ^= 1
+	if k.Verify(4096, 7, data, bad) {
+		t.Error("corrupted tag accepted")
+	}
+	if k.Verify(4096, 8, data, tag) {
+		t.Error("wrong seed accepted")
+	}
+}
+
+func TestPropertyVerifyRoundTrip(t *testing.T) {
+	k := New([]byte("property"))
+	f := func(addr, seed uint64, data []byte) bool {
+		tag := k.Sum(addr, seed, data)
+		return k.Verify(addr, seed, data, tag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTamperDetected(t *testing.T) {
+	k := New([]byte("property"))
+	f := func(addr, seed uint64, data []byte, flip uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tag := k.Sum(addr, seed, data)
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		bit := int(flip) % (len(data) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		return !k.Verify(addr, seed, mut, tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Package store provides the simulated off-chip memory contents for
+// the functional secure-memory path: a sparse, block-granular byte
+// store with hooks for injecting the physical attacks (bit flips,
+// block replay) that the integrity machinery must detect.
+package store
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+// BlockSize is the granularity of every access.
+const BlockSize = memlayout.BlockSize
+
+// Memory is a sparse block-addressable backing store. All addresses
+// must be BlockSize-aligned. The zero value is not usable; call New.
+//
+// Memory is deliberately not safe for concurrent use: the simulator
+// core is single-threaded and the paper's experiments are sequential.
+// Concurrent experiment sweeps each own a private Memory.
+type Memory struct {
+	limit  uint64
+	blocks map[uint64]*[BlockSize]byte
+}
+
+// New creates a store covering [0, limit). limit must be a positive
+// multiple of BlockSize.
+func New(limit uint64) (*Memory, error) {
+	if limit == 0 || limit%BlockSize != 0 {
+		return nil, fmt.Errorf("store: limit %d must be a positive multiple of %d", limit, BlockSize)
+	}
+	return &Memory{limit: limit, blocks: make(map[uint64]*[BlockSize]byte)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(limit uint64) *Memory {
+	m, err := New(limit)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Limit reports the size of the address space.
+func (m *Memory) Limit() uint64 { return m.limit }
+
+// Populated reports how many distinct blocks have been written.
+func (m *Memory) Populated() int { return len(m.blocks) }
+
+func (m *Memory) check(addr uint64) {
+	if addr%BlockSize != 0 {
+		panic(fmt.Sprintf("store: unaligned address %#x", addr))
+	}
+	if addr >= m.limit {
+		panic(fmt.Sprintf("store: address %#x beyond limit %#x", addr, m.limit))
+	}
+}
+
+// Read copies the 64 B block at addr into dst. Unwritten blocks read
+// as zero.
+func (m *Memory) Read(addr uint64, dst *[BlockSize]byte) {
+	m.check(addr)
+	if b, ok := m.blocks[addr]; ok {
+		*dst = *b
+		return
+	}
+	*dst = [BlockSize]byte{}
+}
+
+// Write stores the 64 B block at addr.
+func (m *Memory) Write(addr uint64, src *[BlockSize]byte) {
+	m.check(addr)
+	b, ok := m.blocks[addr]
+	if !ok {
+		b = new([BlockSize]byte)
+		m.blocks[addr] = b
+	}
+	*b = *src
+}
+
+// FlipBit injects a physical attack: it flips one bit of the stored
+// block at addr. Flipping a bit in an unwritten block materializes it
+// first (an attacker can write to the bus regardless).
+func (m *Memory) FlipBit(addr uint64, bit uint) {
+	m.check(addr)
+	if bit >= BlockSize*8 {
+		panic(fmt.Sprintf("store: bit %d out of range", bit))
+	}
+	b, ok := m.blocks[addr]
+	if !ok {
+		b = new([BlockSize]byte)
+		m.blocks[addr] = b
+	}
+	b[bit/8] ^= 1 << (bit % 8)
+}
+
+// Snapshot returns a copy of the block at addr, for replay attacks.
+func (m *Memory) Snapshot(addr uint64) [BlockSize]byte {
+	var b [BlockSize]byte
+	m.Read(addr, &b)
+	return b
+}
+
+// Restore overwrites the block at addr with an earlier snapshot,
+// modelling a replay attack.
+func (m *Memory) Restore(addr uint64, snap [BlockSize]byte) {
+	m.Write(addr, &snap)
+}

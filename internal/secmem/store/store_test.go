@@ -1,0 +1,107 @@
+package store
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := New(100); err == nil {
+		t.Error("unaligned limit accepted")
+	}
+	if m, err := New(1024); err != nil || m.Limit() != 1024 {
+		t.Errorf("valid limit rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	m := MustNew(1 << 20)
+	var b [BlockSize]byte
+	b[0] = 0xFF
+	m.Read(64, &b)
+	if b != ([BlockSize]byte{}) {
+		t.Error("unwritten block read nonzero")
+	}
+	if m.Populated() != 0 {
+		t.Error("read should not populate")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := MustNew(1 << 20)
+	var in, out [BlockSize]byte
+	for i := range in {
+		in[i] = byte(i)
+	}
+	m.Write(128, &in)
+	m.Read(128, &out)
+	if in != out {
+		t.Error("round trip failed")
+	}
+	if m.Populated() != 1 {
+		t.Errorf("populated = %d, want 1", m.Populated())
+	}
+	// Overwrite.
+	in[0] = 0xAA
+	m.Write(128, &in)
+	m.Read(128, &out)
+	if out[0] != 0xAA {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestAlignmentAndRangeChecks(t *testing.T) {
+	m := MustNew(1 << 10)
+	var b [BlockSize]byte
+	for name, fn := range map[string]func(){
+		"unaligned read":  func() { m.Read(1, &b) },
+		"oob write":       func() { m.Write(1<<10, &b) },
+		"oob flip":        func() { m.FlipBit(1<<10, 0) },
+		"flip bit oob":    func() { m.FlipBit(0, BlockSize*8) },
+		"unaligned write": func() { m.Write(63, &b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := MustNew(1 << 10)
+	m.FlipBit(0, 9) // byte 1, bit 1 — materializes the block
+	var b [BlockSize]byte
+	m.Read(0, &b)
+	if b[1] != 2 {
+		t.Errorf("byte 1 = %#x, want 2", b[1])
+	}
+	m.FlipBit(0, 9)
+	m.Read(0, &b)
+	if b[1] != 0 {
+		t.Error("double flip did not restore")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := MustNew(1 << 10)
+	var v1, v2, got [BlockSize]byte
+	v1[0], v2[0] = 1, 2
+	m.Write(64, &v1)
+	snap := m.Snapshot(64)
+	m.Write(64, &v2)
+	m.Restore(64, snap)
+	m.Read(64, &got)
+	if got != v1 {
+		t.Error("restore did not replay old contents")
+	}
+}

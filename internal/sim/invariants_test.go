@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/metacache"
+)
+
+// Every memory access the engine claims must correspond to a DRAM
+// transaction, and vice versa: the two books are kept independently
+// (engine purpose counters vs DRAM model counters) so this catches
+// any path that touches one and not the other.
+func TestTrafficConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"no-metacache", Config{Benchmark: "fft", Instructions: 200_000, Secure: true}},
+		{"with-metacache", Config{Benchmark: "fft", Instructions: 200_000, Secure: true,
+			Meta: &metacache.Config{Size: 64 << 10, Ways: 8}}},
+		{"partial-writes", Config{Benchmark: "lbm", Instructions: 200_000, Secure: true,
+			Meta: &metacache.Config{Size: 16 << 10, Ways: 8, PartialWrites: true}}},
+		{"counters-only", Config{Benchmark: "canneal", Instructions: 200_000, Secure: true,
+			Meta: &metacache.Config{Size: 64 << 10, Ways: 8, Content: metacache.CountersOnly}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := r.DRAM.Accesses(), r.Mem.Total(); got != want {
+				t.Errorf("DRAM transactions %d != engine accounting %d", got, want)
+			}
+		})
+	}
+}
+
+// The insecure baseline's DRAM traffic is exactly LLC misses plus
+// surfaced writebacks.
+func TestInsecureTrafficMatchesLLC(t *testing.T) {
+	r, err := Run(Config{Benchmark: "libquantum", Instructions: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRAM.Reads != r.LLC.Misses {
+		t.Errorf("DRAM reads %d != LLC misses %d", r.DRAM.Reads, r.LLC.Misses)
+	}
+	// Writebacks surface only from LLC dirty evictions.
+	if r.DRAM.Writes > r.LLC.DirtyEvicts {
+		t.Errorf("DRAM writes %d exceed LLC dirty evictions %d", r.DRAM.Writes, r.LLC.DirtyEvicts)
+	}
+}
+
+// Secure-memory traffic decomposes: data reads equal LLC misses
+// (every miss fetches exactly one data block, plus page
+// re-encryptions).
+func TestSecureDataReadsMatchLLCMisses(t *testing.T) {
+	r, err := Run(Config{Benchmark: "libquantum", Instructions: 200_000, Secure: true,
+		Meta: &metacache.Config{Size: 64 << 10, Ways: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reencReads := r.PageReencryptions * 64
+	if r.Mem.DataReads != r.LLC.Misses+reencReads {
+		t.Errorf("data reads %d != LLC misses %d + re-encryption reads %d",
+			r.Mem.DataReads, r.LLC.Misses, reencReads)
+	}
+}

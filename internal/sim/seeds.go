@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedStats summarizes a metric across seeds.
+type SeedStats struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+func summarize(vals []float64) SeedStats {
+	s := SeedStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range vals {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(vals))
+	for _, v := range vals {
+		s.StdDev += (v - s.Mean) * (v - s.Mean)
+	}
+	if len(vals) > 1 {
+		s.StdDev = math.Sqrt(s.StdDev / float64(len(vals)-1))
+	}
+	return s
+}
+
+// SeedsResult reports metric distributions across workload seeds.
+type SeedsResult struct {
+	Seeds    int
+	MetaMPKI SeedStats
+	LLCMPKI  SeedStats
+	IPC      SeedStats
+	// Runs holds the individual results, seed order.
+	Runs []*Result
+}
+
+// RunSeeds repeats one configuration across n workload seeds
+// (1..n), reporting the spread. Synthetic workloads make seed
+// sensitivity cheap to quantify; tight spreads justify the
+// single-seed sweeps the experiments use.
+func RunSeeds(cfg Config, n int) (*SeedsResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: need at least one seed")
+	}
+	if cfg.Meta != nil && (cfg.Meta.Policy != nil || cfg.Meta.Partition != nil) {
+		return nil, fmt.Errorf("sim: RunSeeds requires nil Meta.Policy and Meta.Partition (stateful instances cannot be reused across runs)")
+	}
+	res := &SeedsResult{Seeds: n}
+	var meta, llc, ipc []float64
+	for seed := 1; seed <= n; seed++ {
+		c := cfg
+		c.Seed = int64(seed)
+		c.Workload = nil // fresh generator per run
+		if c.Meta != nil {
+			mc := *c.Meta
+			c.Meta = &mc
+		}
+		r, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: seed %d: %w", seed, err)
+		}
+		res.Runs = append(res.Runs, r)
+		meta = append(meta, r.MetaMPKI)
+		llc = append(llc, r.LLCMPKI)
+		ipc = append(ipc, r.IPC)
+	}
+	res.MetaMPKI = summarize(meta)
+	res.LLCMPKI = summarize(llc)
+	res.IPC = summarize(ipc)
+	return res, nil
+}
+
+// CoefficientOfVariation returns stddev/mean, the unitless spread.
+func (s SeedStats) CoefficientOfVariation() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}

@@ -1,0 +1,321 @@
+// Package sim is the top-level simulation driver: it runs a workload
+// through the cache hierarchy and (optionally) the secure-memory
+// engine, producing the timing, traffic, MPKI, and energy numbers the
+// MAPS experiments report.
+//
+// The core model is deliberately simple — a fixed base CPI plus
+// blocking stalls for hierarchy and memory latency — because every
+// result in the paper is driven by the LLC miss/writeback stream and
+// the metadata traffic it induces, not by core microarchitecture
+// (DESIGN.md §1).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/maps-sim/mapsim/internal/cache"
+	"github.com/maps-sim/mapsim/internal/dram"
+	"github.com/maps-sim/mapsim/internal/energy"
+	"github.com/maps-sim/mapsim/internal/hierarchy"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/secmem/engine"
+	"github.com/maps-sim/mapsim/internal/trace"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Benchmark selects a workload by name; Workload overrides it
+	// with a caller-supplied generator.
+	Benchmark string
+	Workload  workload.Generator
+
+	// Instructions is the measured instruction count (default 2M).
+	Instructions uint64
+	// Warmup is the unmeasured prefix (default Instructions/10).
+	Warmup uint64
+	// Seed drives the workload's randomness.
+	Seed int64
+
+	// Hierarchy sets the cache stack; zero selects Table I.
+	Hierarchy hierarchy.Config
+
+	// Secure enables the secure-memory engine. When false the run is
+	// the insecure baseline used for normalization.
+	Secure bool
+	// Org selects the counter organization.
+	Org memlayout.Organization
+	// Meta configures the metadata cache; nil simulates no metadata
+	// cache (every metadata access goes to memory).
+	Meta *metacache.Config
+	// Speculation hides verification latency (PoisonIvy).
+	Speculation bool
+	// SpeculationWindow bounds the hidden verification latency in
+	// cycles; zero = unbounded. Ignored without Speculation.
+	SpeculationWindow uint64
+
+	// DRAM sets memory timing; zero selects dram.Default.
+	DRAM dram.Config
+	// BaseCPI is the cycles-per-instruction floor (default 1.0).
+	BaseCPI float64
+	// L2HitLatency and L3HitLatency are the extra stall cycles for
+	// hits below L1 (defaults 12 and 40).
+	L2HitLatency uint64
+	L3HitLatency uint64
+
+	// Tap observes every metadata access the engine makes, warmup
+	// included, for reuse analysis and trace recording.
+	Tap func(trace.Access)
+}
+
+func (c *Config) fill() error {
+	if c.Workload == nil {
+		if c.Benchmark == "" {
+			return fmt.Errorf("sim: either Benchmark or Workload is required")
+		}
+		g, err := workload.New(c.Benchmark)
+		if err != nil {
+			return err
+		}
+		c.Workload = g
+	}
+	if c.Benchmark == "" {
+		c.Benchmark = c.Workload.Name()
+	}
+	if c.Instructions == 0 {
+		c.Instructions = 2_000_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Instructions / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Hierarchy == (hierarchy.Config{}) {
+		c.Hierarchy = hierarchy.Default()
+	}
+	if c.DRAM == (dram.Config{}) {
+		c.DRAM = dram.Default()
+	}
+	if c.BaseCPI == 0 {
+		c.BaseCPI = 1.0
+	}
+	if c.L2HitLatency == 0 {
+		c.L2HitLatency = 12
+	}
+	if c.L3HitLatency == 0 {
+		c.L3HitLatency = 40
+	}
+	return nil
+}
+
+// KindResult summarizes one metadata kind. Bypassed accesses (kinds
+// the content policy excludes) are not misses — matching the paper's
+// Figure 1 metric — but still generate memory traffic.
+type KindResult struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Bypassed uint64
+	MPKI     float64
+}
+
+// Result is the output of one simulation.
+type Result struct {
+	Benchmark    string
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	LLC      cache.Stats
+	LLCMPKI  float64
+	Hier     [3]cache.Stats // L1, L2, L3
+	DataMPKI float64        // alias of LLCMPKI for readability
+
+	// Metadata cache results (zero when no metadata cache / insecure).
+	Meta        map[memlayout.Kind]KindResult
+	MetaMPKI    float64 // metadata-cache misses per kilo-instruction
+	MetaMemPKI  float64 // metadata *memory accesses* per kilo-instruction
+	MetaHitRate float64
+	// TreeLevels holds per-tree-level cache behaviour (leaf first);
+	// upper levels cover more data and should hit more.
+	TreeLevels []KindResult
+
+	Mem               engine.MemTraffic
+	PageReencryptions uint64
+	SpecWindowStalls  uint64
+
+	DRAM dram.Stats
+
+	Energy   energy.Account
+	EnergyPJ float64
+	ED2      float64
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	gen := cfg.Workload
+	gen.Reset(cfg.Seed)
+
+	hier, err := hierarchy.New(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+
+	var eng *engine.Engine
+	var meta *metacache.MetaCache
+	if cfg.Secure {
+		footprint := (gen.Footprint() + memlayout.PageSize - 1) &^ (memlayout.PageSize - 1)
+		layout, err := memlayout.New(cfg.Org, footprint)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Meta != nil {
+			meta, err = metacache.New(*cfg.Meta)
+			if err != nil {
+				return nil, err
+			}
+		}
+		eng, err = engine.New(engine.Config{
+			Layout:            layout,
+			Meta:              meta,
+			DRAM:              mem,
+			Speculation:       cfg.Speculation,
+			SpeculationWindow: cfg.SpeculationWindow,
+			Tap:               cfg.Tap,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		cycles uint64
+		acc    workload.Access
+	)
+	step := func(limit uint64) uint64 {
+		var instrs uint64
+		for instrs < limit {
+			gen.Next(&acc)
+			instrs += uint64(acc.Gap)
+			cycles += uint64(float64(acc.Gap) * cfg.BaseCPI)
+			out := hier.Access(acc.Addr, acc.Write)
+			switch out.Hit {
+			case hierarchy.L2:
+				cycles += cfg.L2HitLatency
+			case hierarchy.L3:
+				cycles += cfg.L3HitLatency
+			case hierarchy.Memory:
+				cycles += cfg.L3HitLatency
+				if eng != nil {
+					cycles += eng.Read(cycles, acc.Addr)
+				} else {
+					cycles += mem.Access(cycles, memlayout.BlockOf(acc.Addr), false)
+				}
+			}
+			for _, wb := range out.Writebacks {
+				if eng != nil {
+					eng.Writeback(cycles, wb)
+				} else {
+					mem.Access(cycles, wb, true)
+				}
+			}
+		}
+		return instrs
+	}
+
+	// Warmup: run, then discard statistics (state persists).
+	step(cfg.Warmup)
+	hier.ResetStats()
+	mem.ResetStats()
+	if eng != nil {
+		eng.ResetStats()
+	}
+	cyclesStart := cycles
+
+	measured := step(cfg.Instructions)
+	cycles -= cyclesStart
+
+	res := &Result{
+		Benchmark:    cfg.Benchmark,
+		Instructions: measured,
+		Cycles:       cycles,
+		Hier:         [3]cache.Stats{hier.L1Stats(), hier.L2Stats(), hier.L3Stats()},
+		LLC:          hier.L3Stats(),
+		DRAM:         mem.Stats(),
+	}
+	kilo := float64(measured) / 1000
+	res.IPC = float64(measured) / float64(cycles)
+	res.LLCMPKI = float64(res.LLC.Misses) / kilo
+	res.DataMPKI = res.LLCMPKI
+
+	if eng != nil {
+		es := eng.Stats()
+		res.Mem = es.Mem
+		res.PageReencryptions = es.PageReencryptions
+		res.SpecWindowStalls = es.SpecWindowStalls
+		res.MetaMemPKI = float64(es.Mem.Metadata()) / kilo
+		if meta != nil {
+			res.Meta = make(map[memlayout.Kind]KindResult, 3)
+			var misses, accesses, hits uint64
+			for _, k := range memlayout.MetaKinds {
+				ks := meta.KindStats(k)
+				res.Meta[k] = KindResult{
+					Accesses: ks.Accesses,
+					Hits:     ks.Hits,
+					Misses:   ks.Misses,
+					Bypassed: ks.Bypassed,
+					MPKI:     float64(ks.Misses) / kilo,
+				}
+				misses += ks.Misses
+				accesses += ks.Accesses
+				hits += ks.Hits
+			}
+			res.MetaMPKI = float64(misses) / kilo
+			if accesses > 0 {
+				res.MetaHitRate = float64(hits) / float64(accesses)
+			}
+			for level := 0; level < 16; level++ {
+				ls := meta.LevelStats(level)
+				if ls.Accesses == 0 {
+					break
+				}
+				res.TreeLevels = append(res.TreeLevels, KindResult{
+					Accesses: ls.Accesses,
+					Hits:     ls.Hits,
+					Misses:   ls.Misses,
+					Bypassed: ls.Bypassed,
+					MPKI:     float64(ls.Misses) / kilo,
+				})
+			}
+		} else {
+			// No metadata cache: every metadata memory access is a
+			// "miss" for MPKI purposes.
+			res.MetaMPKI = res.MetaMemPKI
+		}
+	}
+
+	// Energy: core + per-level SRAM (dynamic + leakage) + metadata
+	// SRAM + DRAM.
+	res.Energy.AddInstructions(measured)
+	res.Energy.AddSRAM(cfg.Hierarchy.L1Size, res.Hier[0].Accesses)
+	res.Energy.AddSRAM(cfg.Hierarchy.L2Size, res.Hier[1].Accesses)
+	res.Energy.AddSRAM(cfg.Hierarchy.L3Size, res.Hier[2].Accesses)
+	res.Energy.AddSRAMLeakage(cfg.Hierarchy.L1Size+cfg.Hierarchy.L2Size+cfg.Hierarchy.L3Size, cycles)
+	if meta != nil {
+		res.Energy.AddSRAM(meta.Size(), meta.TotalStats().Accesses)
+		res.Energy.AddSRAMLeakage(meta.Size(), cycles)
+	}
+	res.Energy.AddDRAMPJ(res.DRAM.EnergyPJ)
+	res.EnergyPJ = res.Energy.TotalPJ()
+	res.ED2 = energy.ED2(res.EnergyPJ, res.Cycles)
+	return res, nil
+}

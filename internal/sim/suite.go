@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// SuiteResult aggregates one configuration across a benchmark suite.
+type SuiteResult struct {
+	// PerBench maps benchmark name to its result.
+	PerBench map[string]*Result
+	// Order preserves the requested benchmark order for reports.
+	Order []string
+
+	// Geomeans across the suite.
+	GeomeanLLCMPKI  float64
+	GeomeanMetaMPKI float64
+	GeomeanIPC      float64
+	GeomeanED2      float64
+}
+
+// RunSuite runs the same configuration (everything except Benchmark /
+// Workload) across the given benchmarks in parallel. An empty
+// benchmark list selects the full registry.
+func RunSuite(base Config, benchmarks []string, parallelism int) (*SuiteResult, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = workload.Names()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	res := &SuiteResult{
+		PerBench: make(map[string]*Result, len(benchmarks)),
+		Order:    append([]string{}, benchmarks...),
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, b := range benchmarks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := base
+			cfg.Benchmark = b
+			cfg.Workload = nil // force a private generator per run
+			if cfg.Meta != nil {
+				metaCopy := *cfg.Meta
+				// Policies and partition schemes are stateful; a
+				// shared instance across concurrent runs would race.
+				if metaCopy.Policy != nil || metaCopy.Partition != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sim: RunSuite requires nil Meta.Policy and Meta.Partition (stateful instances cannot be shared across runs)")
+					}
+					mu.Unlock()
+					return
+				}
+				cfg.Meta = &metaCopy
+			}
+			r, err := Run(cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("sim: %s: %w", b, err)
+				}
+				return
+			}
+			res.PerBench[b] = r
+		}(b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var llc, meta, ipc, ed2 []float64
+	for _, b := range benchmarks {
+		r := res.PerBench[b]
+		llc = append(llc, r.LLCMPKI)
+		meta = append(meta, r.MetaMPKI)
+		ipc = append(ipc, r.IPC)
+		ed2 = append(ed2, r.ED2)
+	}
+	res.GeomeanLLCMPKI = stats.Geomean(llc)
+	res.GeomeanMetaMPKI = stats.Geomean(meta)
+	res.GeomeanIPC = stats.Geomean(ipc)
+	res.GeomeanED2 = stats.Geomean(ed2)
+	return res, nil
+}
+
+// Render prints a per-benchmark summary table with the geomean row.
+func (s *SuiteResult) Render() string {
+	var t stats.Table
+	t.AddRow("benchmark", "LLC MPKI", "meta MPKI", "IPC", "mem accesses")
+	for _, b := range s.Order {
+		r := s.PerBench[b]
+		t.AddRow(b,
+			fmt.Sprintf("%.2f", r.LLCMPKI),
+			fmt.Sprintf("%.2f", r.MetaMPKI),
+			fmt.Sprintf("%.3f", r.IPC),
+			fmt.Sprintf("%d", r.DRAM.Accesses()))
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.2f", s.GeomeanLLCMPKI),
+		fmt.Sprintf("%.2f", s.GeomeanMetaMPKI),
+		fmt.Sprintf("%.3f", s.GeomeanIPC),
+		"")
+	return t.String()
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/partition"
+)
+
+func TestRunSuiteBasics(t *testing.T) {
+	res, err := RunSuite(Config{
+		Instructions: 80_000,
+		Secure:       true,
+		Speculation:  true,
+		Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+	}, []string{"libquantum", "perlbench", "fft"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBench) != 3 {
+		t.Fatalf("got %d results", len(res.PerBench))
+	}
+	if res.GeomeanLLCMPKI <= 0 || res.GeomeanIPC <= 0 || res.GeomeanED2 <= 0 {
+		t.Errorf("geomeans: %+v", res)
+	}
+	for _, b := range res.Order {
+		r := res.PerBench[b]
+		if r == nil || r.MetaMPKI <= 0 || r.Cycles == 0 {
+			t.Errorf("%s: degenerate result %+v", b, r)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "fft") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestRunSuiteDefaultsToFullRegistry(t *testing.T) {
+	res, err := RunSuite(Config{Instructions: 20_000}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBench) != 16 {
+		t.Errorf("expected all 16 benchmarks, got %d", len(res.PerBench))
+	}
+}
+
+func TestRunSuiteRejectsSharedStatefulConfig(t *testing.T) {
+	_, err := RunSuite(Config{
+		Instructions: 10_000,
+		Secure:       true,
+		Meta:         &metacache.Config{Size: 64 << 10, Ways: 8, Policy: policy.NewLRU()},
+	}, []string{"libquantum", "fft"}, 2)
+	if err == nil {
+		t.Error("shared policy instance accepted")
+	}
+	_, err = RunSuite(Config{
+		Instructions: 10_000,
+		Secure:       true,
+		Meta:         &metacache.Config{Size: 64 << 10, Ways: 8, Partition: partition.NewDynamic(2, 6)},
+	}, []string{"libquantum", "fft"}, 2)
+	if err == nil {
+		t.Error("shared partition instance accepted")
+	}
+}
+
+func TestRunSuitePropagatesErrors(t *testing.T) {
+	if _, err := RunSuite(Config{Instructions: 10_000}, []string{"nonesuch"}, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	res, err := RunSeeds(Config{
+		Benchmark:    "canneal",
+		Instructions: 100_000,
+		Secure:       true,
+		Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 || res.Seeds != 4 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	if res.MetaMPKI.Mean <= 0 || res.MetaMPKI.Min > res.MetaMPKI.Max {
+		t.Errorf("meta stats: %+v", res.MetaMPKI)
+	}
+	// Synthetic workloads are statistically stable: spread under 10%.
+	if cv := res.MetaMPKI.CoefficientOfVariation(); cv > 0.10 {
+		t.Errorf("meta MPKI CV = %v across seeds, want < 0.10", cv)
+	}
+	if (SeedStats{}).CoefficientOfVariation() != 0 {
+		t.Error("zero-mean CV should be 0")
+	}
+}
+
+func TestRunSeedsValidation(t *testing.T) {
+	if _, err := RunSeeds(Config{Benchmark: "fft"}, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+	if _, err := RunSeeds(Config{Benchmark: "fft", Instructions: 10_000, Secure: true,
+		Meta: &metacache.Config{Size: 64 << 10, Ways: 8, Policy: policy.NewLRU()}}, 2); err == nil {
+		t.Error("stateful policy accepted")
+	}
+	if _, err := RunSeeds(Config{Benchmark: "nonesuch", Instructions: 10_000}, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the small statistical toolkit the analyses
+// share: log-bucketed histograms with CDF queries, geometric means,
+// and aligned text tables for experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// subBuckets is the number of histogram buckets per power of two;
+// finer than the paper's plotted resolution.
+const subBuckets = 4
+
+// Histogram counts uint64 samples in logarithmic buckets: exact for
+// small values, then subBuckets per octave. It answers the
+// "fraction of samples ≤ x" queries that reuse-distance CDFs need;
+// bucket edges land on powers of two, so the paper's class
+// boundaries (128/256/512 blocks) are exact.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// bucketOf maps a value to its bucket index. Values 0..16 get exact
+// buckets; above that, buckets are quarter-octave half-open intervals
+// (lo, hi] whose upper edges land exactly on powers of two, so CDF
+// queries at power-of-two thresholds are exact.
+func bucketOf(v uint64) int {
+	if v <= 16 {
+		return int(v) // exact buckets 0..16
+	}
+	// Work on w = v-1 so interval tops are inclusive powers of two.
+	// width/subBuckets divides exactly (width >= 16), and dividing
+	// first avoids overflow for values near 2^64.
+	w := v - 1
+	o := 63 - leadingZeros(w)
+	width := uint64(1) << uint(o)
+	frac := (w - width) / (width / subBuckets) // 0..subBuckets-1
+	return 17 + (o-4)*subBuckets + int(frac)
+}
+
+// bucketUpper returns the largest value contained in bucket b.
+func bucketUpper(b int) uint64 {
+	if b <= 16 {
+		return uint64(b)
+	}
+	rel := b - 17
+	o := rel/subBuckets + 4
+	frac := rel % subBuckets
+	width := uint64(1) << uint(o)
+	if o == 63 && frac == subBuckets-1 {
+		return ^uint64(0) // top bucket saturates instead of wrapping
+	}
+	return width + (width/subBuckets)*(uint64(frac)+1)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for mask := uint64(1) << 63; mask != 0 && v&mask == 0; mask >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+}
+
+// AddN records a sample with weight n.
+func (h *Histogram) AddN(v, n uint64) {
+	h.counts[bucketOf(v)] += n
+	h.total += n
+}
+
+// Total reports the number of samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// FractionAtOrBelow returns the fraction of samples with value ≤ x.
+// Buckets straddling x count if their upper edge is ≤ x, so results
+// are exact at powers of two and sub-octave edges.
+func (h *Histogram) FractionAtOrBelow(x uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	limit := bucketOf(x)
+	var n uint64
+	for b, c := range h.counts {
+		if b < limit || (b == limit && bucketUpper(b) <= x) {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// CountBetween returns samples with lo < value ≤ hi (bucket
+// resolution; exact at bucket edges).
+func (h *Histogram) CountBetween(lo, hi uint64) uint64 {
+	bLo, bHi := bucketOf(lo), bucketOf(hi)
+	var n uint64
+	for b, c := range h.counts {
+		if b > bLo && (b < bHi || (b == bHi && bucketUpper(b) <= hi)) {
+			n += c
+		}
+	}
+	return n
+}
+
+// Merge adds another histogram's counts.
+func (h *Histogram) Merge(o *Histogram) {
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+}
+
+// CDF samples the histogram at the given thresholds, returning
+// cumulative fractions.
+func (h *Histogram) CDF(thresholds []uint64) []float64 {
+	out := make([]float64, len(thresholds))
+	for i, x := range thresholds {
+		out[i] = h.FractionAtOrBelow(x)
+	}
+	return out
+}
+
+// Geomean returns the geometric mean of positive values; zero or
+// negative entries are clamped to a small epsilon so a single
+// degenerate benchmark doesn't zero the suite average.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Table renders rows of cells as aligned text, first row treated as
+// the header.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row formatting each value with the matching verb
+// spec ("%s", "%.2f", ...). Convenience for numeric rows.
+func (t *Table) AddRowf(format string, vals ...any) {
+	parts := strings.Fields(format)
+	if len(parts) != len(vals) {
+		panic(fmt.Sprintf("stats: %d format verbs for %d values", len(parts), len(vals)))
+	}
+	cells := make([]string, len(vals))
+	for i := range vals {
+		cells[i] = fmt.Sprintf(parts[i], vals[i])
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := map[int]int{}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", widths[i]))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// SortedKeys returns map keys in sorted order; report helpers use it
+// for deterministic output.
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketExactSmallValues(t *testing.T) {
+	for v := uint64(0); v < 16; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Errorf("bucketOf(%d) = %d", v, got)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Errorf("bucketUpper(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 100000; v += 7 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestPropertyBucketUpperContains(t *testing.T) {
+	f := func(v uint64) bool {
+		b := bucketOf(v)
+		return bucketUpper(b) >= v && (b == 0 || bucketUpper(b-1) < v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionAtOrBelowExactAtPowersOfTwo(t *testing.T) {
+	h := NewHistogram()
+	// 50 samples at 100, 50 samples at 1000.
+	h.AddN(100, 50)
+	h.AddN(1000, 50)
+	if got := h.FractionAtOrBelow(512); got != 0.5 {
+		t.Errorf("F(512) = %v, want 0.5", got)
+	}
+	if got := h.FractionAtOrBelow(2048); got != 1.0 {
+		t.Errorf("F(2048) = %v, want 1", got)
+	}
+	if got := h.FractionAtOrBelow(64); got != 0 {
+		t.Errorf("F(64) = %v, want 0", got)
+	}
+}
+
+func TestCDFAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := NewHistogram()
+	var samples []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, x := range []uint64{128, 4096, 65536, 1 << 19} {
+		want := float64(sort.Search(len(samples), func(i int) bool { return samples[i] > x })) / float64(len(samples))
+		got := h.FractionAtOrBelow(x)
+		// Bucket resolution is a quarter octave: allow small error.
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("F(%d) = %v, oracle %v", x, got, want)
+		}
+	}
+}
+
+func TestCountBetween(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(100, 10)  // in (64, 256]
+	h.AddN(1000, 20) // above
+	if got := h.CountBetween(64, 256); got != 10 {
+		t.Errorf("CountBetween(64,256) = %d, want 10", got)
+	}
+	if got := h.CountBetween(256, 2048); got != 20 {
+		t.Errorf("CountBetween(256,2048) = %d, want 20", got)
+	}
+}
+
+func TestMergeAndTotals(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(5)
+	b.Add(500)
+	a.Merge(b)
+	if a.Total() != 2 {
+		t.Errorf("total = %d", a.Total())
+	}
+	if a.FractionAtOrBelow(1024) != 1 {
+		t.Error("merged sample missing")
+	}
+	if got := a.CDF([]uint64{8, 1024}); got[0] != 0.5 || got[1] != 1 {
+		t.Errorf("CDF = %v", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.FractionAtOrBelow(100) != 0 || h.Total() != 0 {
+		t.Error("empty histogram misbehaves")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	// Zeros clamp rather than collapse.
+	if Geomean([]float64{0, 4}) <= 0 {
+		t.Error("zero-containing geomean should stay positive")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.AddRow("bench", "mpki")
+	tb.AddRowf("%s %.1f", "canneal", 73.0)
+	out := tb.String()
+	if !strings.Contains(out, "canneal") || !strings.Contains(out, "73.0") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "-----") {
+		t.Error("missing header rule")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableAddRowfPanicsOnMismatch(t *testing.T) {
+	var tb Table
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRowf("%s %s", "only-one")
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sorted keys = %v", got)
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom ensures arbitrary bytes never panic the decoder and
+// that valid encodings round-trip.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a real encoding.
+	tr := &Trace{}
+	tr.Append(Access{Addr: 64, Write: true, Class: 2, Cost: 3})
+	tr.Append(Access{Addr: 128, Class: 1, Cost: 1})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x52, 0x54, 0x4D, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Trace
+		if _, err := got.ReadFrom(bytes.NewReader(data)); err != nil {
+			return // rejected: fine
+		}
+		// Anything accepted must re-encode to an equal trace.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again Trace
+		if _, err := again.ReadFrom(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !got.Equal(&again) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Package trace records metadata-access traces so that offline
+// replacement policies (Belady's MIN, iterMIN, CSOPT) can replay them
+// as "future knowledge", exactly as MAPS §V-B does: the trace is
+// gathered under true LRU and fed back into the simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Access is one recorded cache access.
+type Access struct {
+	// Addr is the block-aligned address.
+	Addr uint64
+	// Write distinguishes updates from fetches.
+	Write bool
+	// Class carries the caller's block classification (metadata kind).
+	Class uint8
+	// Cost is the observed miss cost in memory accesses: 1 for a
+	// hash, 1 + tree nodes fetched for a counter, as seen when the
+	// trace was recorded. CSOPT weighs misses with it.
+	Cost uint8
+}
+
+// Trace is an append-only access sequence.
+type Trace struct {
+	Accesses []Access
+}
+
+// Append records one access.
+func (t *Trace) Append(a Access) { t.Accesses = append(t.Accesses, a) }
+
+// Len reports the number of recorded accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// FutureQueues builds, for every address, the ascending list of
+// positions at which it is accessed. MIN consumes these queues as its
+// oracle.
+func (t *Trace) FutureQueues() map[uint64][]int64 {
+	q := make(map[uint64][]int64)
+	for i, a := range t.Accesses {
+		q[a.Addr] = append(q[a.Addr], int64(i))
+	}
+	return q
+}
+
+// Equal reports whether two traces are identical; iterMIN uses it to
+// detect a fixed point.
+func (t *Trace) Equal(o *Trace) bool {
+	if len(t.Accesses) != len(o.Accesses) {
+		return false
+	}
+	for i := range t.Accesses {
+		if t.Accesses[i] != o.Accesses[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const magic = uint32(0x4D545243) // "MTRC"
+
+// WriteTo serializes the trace in a compact binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.Accesses))); err != nil {
+		return n, err
+	}
+	for _, a := range t.Accesses {
+		flags := a.Class << 1
+		if a.Write {
+			flags |= 1
+		}
+		if err := write(a.Addr); err != nil {
+			return n, err
+		}
+		if err := write(flags); err != nil {
+			return n, err
+		}
+		if err := write(a.Cost); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo, replacing the
+// receiver's contents.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var n int64
+	read := func(v any) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	var m uint32
+	if err := read(&m); err != nil {
+		return n, err
+	}
+	if m != magic {
+		return n, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	var count uint64
+	if err := read(&count); err != nil {
+		return n, err
+	}
+	// Never trust the declared count for allocation: a corrupt or
+	// malicious header could demand terabytes. Pre-size within reason
+	// and let append grow if the data really is that long.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t.Accesses = make([]Access, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		var a Access
+		var flags uint8
+		if err := read(&a.Addr); err != nil {
+			return n, err
+		}
+		if err := read(&flags); err != nil {
+			return n, err
+		}
+		if err := read(&a.Cost); err != nil {
+			return n, err
+		}
+		a.Write = flags&1 != 0
+		a.Class = flags >> 1
+		t.Accesses = append(t.Accesses, a)
+	}
+	return n, nil
+}

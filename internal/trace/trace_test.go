@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomTrace(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Append(Access{
+			Addr:  uint64(rng.Intn(256)) * 64,
+			Write: rng.Intn(3) == 0,
+			Class: uint8(rng.Intn(6)),
+			Cost:  uint8(1 + rng.Intn(5)),
+		})
+	}
+	return t
+}
+
+func TestAppendAndLen(t *testing.T) {
+	tr := &Trace{}
+	if tr.Len() != 0 {
+		t.Error("empty trace has nonzero length")
+	}
+	tr.Append(Access{Addr: 64})
+	tr.Append(Access{Addr: 128, Write: true})
+	if tr.Len() != 2 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestFutureQueues(t *testing.T) {
+	tr := &Trace{}
+	for _, a := range []uint64{0, 64, 0, 128, 0, 64} {
+		tr.Append(Access{Addr: a})
+	}
+	q := tr.FutureQueues()
+	want := map[uint64][]int64{0: {0, 2, 4}, 64: {1, 5}, 128: {3}}
+	for addr, positions := range want {
+		got := q[addr]
+		if len(got) != len(positions) {
+			t.Fatalf("addr %d: %v, want %v", addr, got, positions)
+		}
+		for i := range positions {
+			if got[i] != positions[i] {
+				t.Fatalf("addr %d: %v, want %v", addr, got, positions)
+			}
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := randomTrace(100, 1)
+	b := randomTrace(100, 1)
+	if !a.Equal(b) {
+		t.Error("identical traces not equal")
+	}
+	b.Accesses[50].Addr ^= 64
+	if a.Equal(b) {
+		t.Error("differing traces equal")
+	}
+	c := randomTrace(99, 1)
+	if a.Equal(c) {
+		t.Error("different lengths equal")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	orig := randomTrace(1000, 7)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !orig.Equal(&got) {
+		t.Fatal("round trip changed the trace")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var got Trace
+	if _, err := got.ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	orig := randomTrace(10, 3)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var got Trace
+	if _, err := got.ReadFrom(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var orig, got Trace
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Error("empty round trip produced accesses")
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+)
+
+func validSynth() SyntheticConfig {
+	return SyntheticConfig{
+		Name:           "custom",
+		FootprintBytes: 8 << 20,
+		MeanGap:        3,
+		WriteFraction:  0.2,
+		SequentialRun:  4,
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	mutations := map[string]func(*SyntheticConfig){
+		"no name":       func(c *SyntheticConfig) { c.Name = "" },
+		"zero fp":       func(c *SyntheticConfig) { c.FootprintBytes = 0 },
+		"unaligned fp":  func(c *SyntheticConfig) { c.FootprintBytes = 100 },
+		"bad gap":       func(c *SyntheticConfig) { c.MeanGap = 0 },
+		"bad writes":    func(c *SyntheticConfig) { c.WriteFraction = 1.5 },
+		"bad hot frac":  func(c *SyntheticConfig) { c.HotFraction = -1 },
+		"hot too big":   func(c *SyntheticConfig) { c.HotBytes = 16 << 20 },
+		"hot unaligned": func(c *SyntheticConfig) { c.HotBytes = 100 },
+		"bad run":       func(c *SyntheticConfig) { c.SequentialRun = 0 },
+	}
+	for name, mutate := range mutations {
+		cfg := validSynth()
+		mutate(&cfg)
+		if _, err := NewSynthetic(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewSynthetic(validSynth()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSyntheticBoundsAndDeterminism(t *testing.T) {
+	g, err := NewSynthetic(validSynth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Access
+	first := make([]Access, 500)
+	for i := range first {
+		g.Next(&first[i])
+		if first[i].Addr >= g.Footprint() {
+			t.Fatalf("access %#x out of bounds", first[i].Addr)
+		}
+	}
+	g.Reset(1)
+	for i := range first {
+		g.Next(&a)
+		if a != first[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestSyntheticHotRegion(t *testing.T) {
+	cfg := validSynth()
+	cfg.HotBytes = 1 << 20
+	cfg.HotFraction = 0.9
+	cfg.SequentialRun = 1
+	g, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Access
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		g.Next(&a)
+		if a.Addr < cfg.HotBytes {
+			hot++
+		}
+	}
+	if hot < 8000 {
+		t.Errorf("only %d/10000 accesses hot, want ~9000", hot)
+	}
+}
+
+func TestSyntheticStream(t *testing.T) {
+	cfg := validSynth()
+	cfg.Stream = true
+	cfg.SequentialRun = 1 << 20 // effectively endless runs
+	g, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Access
+	g.Next(&a)
+	prev := a.Addr
+	for i := 0; i < 1000; i++ {
+		g.Next(&a)
+		if a.Addr != prev+8 && a.Addr != 0 {
+			t.Fatalf("stream broke sequence at %d: %#x after %#x", i, a.Addr, prev)
+		}
+		prev = a.Addr
+	}
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Errorf("expected 16 benchmarks, have %d: %v", len(names), names)
+	}
+	for _, n := range names {
+		g, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if g.Name() != n {
+			t.Errorf("generator %q reports name %q", n, g.Name())
+		}
+		if g.Footprint() == 0 || g.Footprint()%4096 != 0 {
+			t.Errorf("%s footprint %d not page aligned", n, g.Footprint())
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := New("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew("nonesuch")
+}
+
+func TestSubsetsAreRegistered(t *testing.T) {
+	for _, n := range append(MemoryIntensive(), Representative()...) {
+		if _, err := New(n); err != nil {
+			t.Errorf("subset names unknown benchmark %q", n)
+		}
+	}
+}
+
+func TestAccessesStayInFootprint(t *testing.T) {
+	for _, n := range Names() {
+		g := MustNew(n)
+		var a Access
+		for i := 0; i < 200000; i++ {
+			g.Next(&a)
+			if a.Addr >= g.Footprint() {
+				t.Fatalf("%s: access %#x beyond footprint %#x", n, a.Addr, g.Footprint())
+			}
+			if a.Gap < 1 {
+				t.Fatalf("%s: gap %d < 1", n, a.Gap)
+			}
+		}
+	}
+}
+
+func TestDeterministicAfterReset(t *testing.T) {
+	for _, n := range Names() {
+		g := MustNew(n)
+		first := make([]Access, 1000)
+		for i := range first {
+			g.Next(&first[i])
+		}
+		g.Reset(1)
+		var a Access
+		for i := range first {
+			g.Next(&a)
+			if a != first[i] {
+				t.Fatalf("%s: access %d differs after reset: %+v vs %+v", n, i, a, first[i])
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	g := MustNew("canneal")
+	g.Reset(1)
+	var a1, a2 Access
+	seq1 := make([]uint64, 100)
+	for i := range seq1 {
+		g.Next(&a1)
+		seq1[i] = a1.Addr
+	}
+	g.Reset(2)
+	same := 0
+	for i := range seq1 {
+		g.Next(&a2)
+		if a2.Addr == seq1[i] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("seeds 1 and 2 share %d/100 addresses", same)
+	}
+}
+
+func TestWriteFractions(t *testing.T) {
+	// Benchmarks must roughly honor their configured write mix; fft
+	// writes much more than streamcluster.
+	frac := func(name string, n int) float64 {
+		g := MustNew(name)
+		var a Access
+		w := 0
+		for i := 0; i < n; i++ {
+			g.Next(&a)
+			if a.Write {
+				w++
+			}
+		}
+		return float64(w) / float64(n)
+	}
+	if f := frac("fft", 100000); f < 0.15 || f > 0.25 {
+		t.Errorf("fft write fraction = %v, want ~0.20", f)
+	}
+	if f := frac("streamcluster", 100000); f > 0.05 {
+		t.Errorf("streamcluster write fraction = %v, want ~0.02", f)
+	}
+	if f := frac("lbm", 100000); f < 0.35 {
+		t.Errorf("lbm write fraction = %v, want ~0.45", f)
+	}
+}
+
+func TestLibquantumStreams(t *testing.T) {
+	g := MustNew("libquantum")
+	var a Access
+	g.Next(&a)
+	prev := a.Addr
+	sequential := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		g.Next(&a)
+		if a.Addr == prev+8 || a.Addr == 0 {
+			sequential++
+		}
+		prev = a.Addr
+	}
+	if sequential < n*99/100 {
+		t.Errorf("libquantum only %d/%d sequential", sequential, n)
+	}
+}
+
+func TestCannealIsScattered(t *testing.T) {
+	g := MustNew("canneal")
+	var a Access
+	pages := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		g.Next(&a)
+		pages[a.Addr/4096] = true
+	}
+	// Low spatial locality: thousands of distinct pages (short runs
+	// of a few words between random jumps).
+	if len(pages) < 2000 {
+		t.Errorf("canneal touched only %d pages in 10k accesses", len(pages))
+	}
+}
+
+func TestPerlbenchIsCompact(t *testing.T) {
+	g := MustNew("perlbench")
+	var a Access
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		g.Next(&a)
+		if a.Addr < 1<<20 {
+			hot++
+		}
+	}
+	if hot < 9000 {
+		t.Errorf("perlbench only %d/10000 accesses in hot region", hot)
+	}
+}
+
+func TestBarnesSkewedReuse(t *testing.T) {
+	// Tree walks touch low-level (small-address) nodes far more
+	// often than leaves.
+	g := MustNew("barnes")
+	var a Access
+	counts := make(map[uint64]int)
+	for i := 0; i < 50000; i++ {
+		g.Next(&a)
+		counts[a.Addr]++
+	}
+	// The most frequent block must be touched far more than the
+	// median.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Errorf("barnes hottest node touched only %d times", max)
+	}
+}
+
+func TestStencilSpatialLocality(t *testing.T) {
+	g := MustNew("leslie3d")
+	var a Access
+	g.Next(&a)
+	prev := a.Addr
+	near := 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		g.Next(&a)
+		d := int64(a.Addr) - int64(prev)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 256*8*2 { // within a couple of grid rows
+			near++
+		}
+		prev = a.Addr
+	}
+	// The centre/+y/+z triplet makes one of every three transitions
+	// near (centre -> +y); the plane jumps are far by design.
+	if near < n/4 {
+		t.Errorf("leslie3d only %d/%d near-neighbour accesses", near, n)
+	}
+}
+
+func TestGapMeansDiffer(t *testing.T) {
+	mean := func(name string) float64 {
+		g := MustNew(name)
+		var a Access
+		var sum uint64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			g.Next(&a)
+			sum += uint64(a.Gap)
+		}
+		return float64(sum) / n
+	}
+	if m := mean("mcf"); m < 1.5 || m > 2.5 {
+		t.Errorf("mcf mean gap = %v, want ~2", m)
+	}
+	if m := mean("perlbench"); m < 4 || m > 6 {
+		t.Errorf("perlbench mean gap = %v, want ~5", m)
+	}
+}

@@ -1,0 +1,179 @@
+package mapsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	r, err := Run(Config{
+		Benchmark:    "libquantum",
+		Instructions: 100_000,
+		Secure:       true,
+		Speculation:  true,
+		Meta:         &MetaConfig{Size: 64 << 10, Ways: 8, Content: AllTypes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MetaMPKI <= 0 || r.Meta[KindCounter].Accesses == 0 {
+		t.Errorf("facade run produced empty results: %+v", r)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if len(Benchmarks()) != 16 {
+		t.Errorf("benchmarks: %v", Benchmarks())
+	}
+	if len(MemoryIntensiveBenchmarks()) == 0 {
+		t.Error("memory-intensive list empty")
+	}
+	g, err := NewBenchmark("canneal")
+	if err != nil || g.Name() != "canneal" {
+		t.Errorf("NewBenchmark: %v", err)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	for _, p := range []ReplacementPolicy{
+		NewLRU(), NewPLRU(), NewFIFO(), NewSRRIP(), NewBRRIP(), NewEVA(),
+		NewRandomPolicy(1), NewMIN(&Trace{}),
+	} {
+		if p.Name() == "" {
+			t.Error("policy without name")
+		}
+	}
+	for _, s := range []PartitionScheme{NoPartition(), StaticPartition(4), DynamicPartition(2, 6)} {
+		if s.Name() == "" {
+			t.Error("scheme without name")
+		}
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if !strings.Contains(Table1(), "3GHz") {
+		t.Error("Table1 incomplete")
+	}
+	if !strings.Contains(Table2(), "SGX") {
+		t.Error("Table2 incomplete")
+	}
+}
+
+func TestFacadeSecureMemory(t *testing.T) {
+	sm, err := NewSecureMemory(PoisonIvy, 1<<20, bytes.Repeat([]byte{7}, 16), []byte("mac"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out Block
+	copy(in[:], "facade round trip")
+	if err := sm.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Load(0, &out); err != nil || out != in {
+		t.Fatalf("round trip: %v", err)
+	}
+	sm.Memory().FlipBit(0, 5)
+	if err := sm.Load(0, &out); err == nil {
+		t.Error("tamper undetected through facade")
+	}
+	if _, err := NewSecureMemory(SGX, 123, nil, nil); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestFacadeReuseAnalyzer(t *testing.T) {
+	an := NewReuseAnalyzer(0)
+	_, err := Run(Config{
+		Benchmark:    "libquantum",
+		Instructions: 50_000,
+		Secure:       true,
+		Tap:          func(a TraceAccess) { an.Record(a.Addr, Kind(a.Class), a.Write) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Accesses(KindCounter) == 0 {
+		t.Error("analyzer saw no counters")
+	}
+}
+
+func TestFacadeExperimentSmoke(t *testing.T) {
+	opt := ExperimentOptions{Instructions: 60_000, Benchmarks: []string{"libquantum"}, Parallelism: 2}
+	r, err := Fig1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MPKI) != 1 {
+		t.Error("fig1 empty")
+	}
+}
+
+func TestFacadeExperimentWrappers(t *testing.T) {
+	// Exercise every experiment wrapper at minimal scale so the
+	// facade stays wired end to end.
+	opt := ExperimentOptions{Instructions: 50_000, Benchmarks: []string{"libquantum"}, Parallelism: 2}
+	if _, err := Fig2(opt); err != nil {
+		t.Errorf("Fig2: %v", err)
+	}
+	if _, err := Fig3(opt); err != nil {
+		t.Errorf("Fig3: %v", err)
+	}
+	if _, err := Fig4(opt); err != nil {
+		t.Errorf("Fig4: %v", err)
+	}
+	if _, err := Fig5(opt); err != nil {
+		t.Errorf("Fig5: %v", err)
+	}
+	if _, err := Fig6(opt); err != nil {
+		t.Errorf("Fig6: %v", err)
+	}
+	if _, err := Fig7(opt); err != nil {
+		t.Errorf("Fig7: %v", err)
+	}
+}
+
+func TestFacadeRunSeeds(t *testing.T) {
+	res, err := RunSeeds(Config{Benchmark: "libquantum", Instructions: 60_000, Secure: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 2 || res.MetaMPKI.Mean <= 0 {
+		t.Errorf("seeds result: %+v", res)
+	}
+}
+
+func TestFacadePerTypePolicies(t *testing.T) {
+	for _, p := range []ReplacementPolicy{NewTypePredictor(), NewPerTypeEVA()} {
+		r, err := Run(Config{Benchmark: "fft", Instructions: 60_000, Secure: true,
+			Meta: &MetaConfig{Size: 16 << 10, Ways: 8, Policy: p}})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if r.MetaMPKI <= 0 {
+			t.Errorf("%s: empty result", p.Name())
+		}
+	}
+}
+
+func TestFacadeCachedSecureMemory(t *testing.T) {
+	sm, err := NewSecureMemory(PoisonIvy, 1<<20, make([]byte, 16), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csm, err := NewCachedSecureMemory(sm, 8*64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out Block
+	copy(in[:], "cached")
+	if err := csm.Store(0, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := csm.Load(0, &out); err != nil || out != in {
+		t.Fatalf("cached round trip: %v", err)
+	}
+	if csm.CounterHits == 0 {
+		t.Error("no cached hits through facade")
+	}
+}
