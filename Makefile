@@ -1,0 +1,28 @@
+# Verify targets. `make check` is the full gate (ROADMAP "Tier-1
+# verify" plus vet and the race-detector pass over the concurrent
+# packages); CI and pre-commit should run exactly this.
+
+GO ?= go
+
+# Packages with real concurrency (worker pool, server, suite fan-out,
+# result cache) — the ones -race can actually catch regressions in.
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim
+
+.PHONY: check build test vet race run-mapsd
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+run-mapsd:
+	$(GO) run ./cmd/mapsd

@@ -1,0 +1,232 @@
+package mapsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/server"
+)
+
+// Wire types shared with the mapsd service (internal/server).
+type (
+	// JobRequest is the body of POST /v1/jobs.
+	JobRequest = server.JobRequest
+	// JobStatus describes a submitted job.
+	JobStatus = server.JobStatus
+	// JobResult carries a finished job's result (Run or Suite set).
+	JobResult = server.JobResult
+	// ConfigSpec is the JSON-expressible subset of Config.
+	ConfigSpec = server.ConfigSpec
+	// MetaSpec is the wire form of the metadata-cache config.
+	MetaSpec = server.MetaSpec
+	// JobState is a job's lifecycle position.
+	JobState = jobs.State
+)
+
+// Job types and states.
+const (
+	JobRun   = server.TypeRun
+	JobSuite = server.TypeSuite
+
+	JobQueued   = jobs.StateQueued
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobCanceled = jobs.StateCanceled
+)
+
+// Client talks to a mapsd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8750".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait (default 250ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mapsd: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: string(msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job and returns its status — already done when the
+// daemon answered from its result cache (status.CacheHit).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel asks the daemon to stop a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Result fetches a finished job's result envelope.
+func (c *Client) Result(ctx context.Context, id string) (JobResult, error) {
+	var res JobResult
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// RunRemote submits a run job, waits for it, and returns the result —
+// the remote analogue of Run.
+func (c *Client) RunRemote(ctx context.Context, spec ConfigSpec) (*Result, error) {
+	st, err := c.Submit(ctx, JobRequest{Type: JobRun, Config: spec})
+	if err != nil {
+		return nil, err
+	}
+	return c.runResult(ctx, st)
+}
+
+// RunSuiteRemote submits a suite job, waits, and returns the result —
+// the remote analogue of RunSuite.
+func (c *Client) RunSuiteRemote(ctx context.Context, spec ConfigSpec, benchmarks []string, parallelism int) (*SuiteResult, error) {
+	st, err := c.Submit(ctx, JobRequest{
+		Type: JobSuite, Config: spec, Benchmarks: benchmarks, Parallelism: parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st, err = c.awaitDone(ctx, st); err != nil {
+		return nil, err
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if res.Suite == nil {
+		return nil, fmt.Errorf("mapsim: job %s returned no suite result", st.ID)
+	}
+	return res.Suite, nil
+}
+
+func (c *Client) runResult(ctx context.Context, st JobStatus) (*Result, error) {
+	var err error
+	if st, err = c.awaitDone(ctx, st); err != nil {
+		return nil, err
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if res.Run == nil {
+		return nil, fmt.Errorf("mapsim: job %s returned no run result", st.ID)
+	}
+	return res.Run, nil
+}
+
+func (c *Client) awaitDone(ctx context.Context, st JobStatus) (JobStatus, error) {
+	if !st.State.Terminal() {
+		var err error
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return st, err
+		}
+	}
+	if st.State != JobDone {
+		return st, fmt.Errorf("mapsim: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return st, nil
+}
+
+// RemoteBenchmarks lists the benchmarks the daemon serves.
+func (c *Client) RemoteBenchmarks(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["benchmarks"], nil
+}

@@ -1,0 +1,140 @@
+package mapsim_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim"
+	"github.com/maps-sim/mapsim/internal/server"
+)
+
+// startDaemon runs the mapsd service in-process, exactly as cmd/mapsd
+// wires it, and returns a client pointed at it.
+func startDaemon(t *testing.T) (*mapsim.Client, *server.Server) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 8, CacheEntries: 16})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	c := mapsim.NewClient(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	return c, srv
+}
+
+// The acceptance path: a suite job served end-to-end through the
+// client, then the identical request answered from the cache without
+// re-running the simulator.
+func TestClientSuiteEndToEndWithCache(t *testing.T) {
+	c, srv := startDaemon(t)
+	ctx := context.Background()
+	spec := mapsim.ConfigSpec{Instructions: 30_000}
+	benchmarks := []string{"libquantum", "fft"}
+
+	first, err := c.RunSuiteRemote(ctx, spec, benchmarks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.PerBench) != 2 || first.GeomeanIPC <= 0 {
+		t.Fatalf("suite result: %+v", first)
+	}
+
+	hitsBefore := srv.CacheStats().Hits
+	completedBefore := srv.PoolStats().Completed
+
+	st, err := c.Submit(ctx, mapsim.JobRequest{
+		Type: mapsim.JobSuite, Config: spec, Benchmarks: benchmarks, Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit || st.State != mapsim.JobDone {
+		t.Fatalf("second identical suite POST must be a born-done cache hit: %+v", st)
+	}
+	if hits := srv.CacheStats().Hits; hits != hitsBefore+1 {
+		t.Fatalf("cache hits %d → %d, want +1", hitsBefore, hits)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suite == nil || len(res.Suite.PerBench) != 2 {
+		t.Fatalf("cached suite result: %+v", res)
+	}
+	// The pool completed the cache-hit job without a worker running
+	// anything: completed count rose by exactly the one born-done job.
+	if got := srv.PoolStats().Completed; got != completedBefore+1 {
+		t.Fatalf("pool completed %d → %d, want +1 (no re-simulation)", completedBefore, got)
+	}
+}
+
+func TestClientRunRemote(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx := context.Background()
+	res, err := c.RunRemote(ctx, mapsim.ConfigSpec{
+		Benchmark:    "libquantum",
+		Instructions: 50_000,
+		Meta:         &mapsim.MetaSpec{Size: 64 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "libquantum" || res.MetaHitRate <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx := context.Background()
+	if _, err := c.Job(ctx, "j-99999999"); err == nil {
+		t.Fatal("want 404 error")
+	} else {
+		var apiErr *mapsim.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+			t.Fatalf("got %v, want APIError 404", err)
+		}
+	}
+	if _, err := c.RunRemote(ctx, mapsim.ConfigSpec{Benchmark: "no-such-bench"}); err == nil {
+		t.Fatal("want 400 error for unknown benchmark")
+	}
+}
+
+func TestClientCancel(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, mapsim.JobRequest{
+		Type:   mapsim.JobRun,
+		Config: mapsim.ConfigSpec{Benchmark: "libquantum", Instructions: 2_000_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != mapsim.JobCanceled {
+		t.Fatalf("state %s, want canceled", final.State)
+	}
+}
+
+func TestClientBenchmarks(t *testing.T) {
+	c, _ := startDaemon(t)
+	names, err := c.RemoteBenchmarks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no benchmarks listed")
+	}
+}

@@ -17,9 +17,12 @@
 //	-benchmarks a,b   restrict the benchmark set
 //	-parallel N       concurrent simulations (default NumCPU)
 //	-plot             append ASCII charts to each experiment's tables
+//	-json             emit machine-readable results (the same structs
+//	                  mapsd serializes) instead of rendered tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +35,7 @@ import (
 func main() {
 	instructions := flag.Uint64("instructions", 2_000_000, "simulated instructions per run")
 	withPlot := flag.Bool("plot", false, "append ASCII charts to each experiment's tables")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default NumCPU)")
 	flag.Usage = usage
@@ -49,123 +53,144 @@ func main() {
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"ablate-partial", "content-matrix", "org-compare", "csopt", "spec-window", "tree-stretch"}
+		names = experiments.Names()
 	}
 	for _, name := range names {
-		if err := runOne(name, opt, *withPlot); err != nil {
+		if err := runOne(name, opt, *withPlot, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "maps: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(name string, opt experiments.Options, withPlot bool) error {
-	start := time.Now()
-	var out, chart string
+// run executes one experiment, returning both the structured result
+// (for -json; the same structs mapsd's API serializes) and the
+// rendered tables (plus an optional chart).
+func run(name string, opt experiments.Options, withPlot bool) (result any, out, chart string, err error) {
 	switch name {
 	case "table1":
 		out = experiments.Table1()
+		result = out
 	case "table2":
-		out = experiments.Table2().Render()
+		r := experiments.Table2()
+		result, out = r, r.Render()
 	case "fig1":
 		r, err := experiments.Fig1(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "fig2":
 		r, err := experiments.Fig2(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "fig3":
 		r, err := experiments.Fig3(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "fig4":
 		r, err := experiments.Fig4(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "fig5":
 		r, err := experiments.Fig5(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "fig6":
 		r, err := experiments.Fig6(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "fig7":
 		r, err := experiments.Fig7(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 		if withPlot {
 			chart = r.RenderChart()
 		}
 	case "ablate-partial":
 		r, err := experiments.AblatePartial(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "content-matrix":
 		r, err := experiments.ContentMatrix(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "org-compare":
 		r, err := experiments.OrgCompare(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "csopt":
 		r, err := experiments.CSOPT(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "spec-window":
 		r, err := experiments.SpecWindow(opt)
 		if err != nil {
-			return err
+			return nil, "", "", err
 		}
-		out = r.Render()
+		result, out = r, r.Render()
 	case "tree-stretch":
 		r, err := experiments.TreeStretch(opt)
 		if err != nil {
+			return nil, "", "", err
+		}
+		result, out = r, r.Render()
+	default:
+		return nil, "", "", fmt.Errorf("unknown experiment (want table1|table2|fig1..fig7|ablate-partial|content-matrix|org-compare|csopt|spec-window|tree-stretch|all)")
+	}
+	return result, out, chart, nil
+}
+
+func runOne(name string, opt experiments.Options, withPlot, asJSON bool) error {
+	start := time.Now()
+	result, out, chart, err := run(name, opt, withPlot)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": name, "result": result}); err != nil {
 			return err
 		}
-		out = r.Render()
-	default:
-		return fmt.Errorf("unknown experiment (want table1|table2|fig1..fig7|ablate-partial|content-matrix|org-compare|csopt|spec-window|tree-stretch|all)")
+		// Keep stdout pure JSON; timing goes to stderr.
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 	fmt.Println(out)
 	if chart != "" {

@@ -1,0 +1,88 @@
+// Command mapsd serves the MAPS simulator as a long-lived daemon:
+// submit simulation or suite jobs over HTTP, poll their status, and
+// fetch results. Identical requests (by canonical config hash) are
+// answered from an LRU result cache without re-simulating.
+//
+// Usage:
+//
+//	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
+//
+// Endpoints (see internal/server and README "Running mapsd"):
+//
+//	POST   /v1/jobs             GET /v1/jobs/{id}[/result]
+//	DELETE /v1/jobs/{id}        GET /v1/benchmarks /v1/experiments
+//	GET    /metrics             GET /healthz
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains running
+// and queued jobs (bounded by -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8750", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "simulation worker count")
+	queue := flag.Int("queue", 64, "job queue depth (beyond it, submissions get 503)")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (entries)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mapsd: listening on %s (%d workers, queue %d, cache %d entries)",
+			*addr, *workers, *queue, *cacheEntries)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("mapsd: %s: draining (up to %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "mapsd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop intake first so drains can't be outrun by new submissions,
+	// then let running and queued jobs finish.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("mapsd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("mapsd: drain timed out; in-flight jobs were cancelled")
+		} else {
+			log.Printf("mapsd: drain: %v", err)
+		}
+		os.Exit(1)
+	}
+	log.Printf("mapsd: drained cleanly")
+}

@@ -13,6 +13,15 @@ import (
 	"github.com/maps-sim/mapsim/internal/sim"
 )
 
+// Names lists every experiment, paper order first then extensions —
+// the registry behind `maps all` and mapsd's GET /v1/experiments.
+func Names() []string {
+	return []string{
+		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"ablate-partial", "content-matrix", "org-compare", "csopt", "spec-window", "tree-stretch",
+	}
+}
+
 // Options tunes an experiment sweep.
 type Options struct {
 	// Instructions per simulation (default 2M; tests use far less).

@@ -1,0 +1,331 @@
+// Package jobs is mapsd's admission layer: a bounded queue feeding a
+// fixed worker pool, with per-job cancellation, optional deadlines,
+// and a graceful drain for shutdown. Simulations are CPU-bound and
+// long (seconds to minutes), so the pool deliberately rejects work
+// once the queue is full — back-pressure at submit time beats an
+// unbounded backlog the client will time out on anyway.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions only move
+// rightward: queued → running → {done, failed, canceled}; a queued
+// job can also jump straight to canceled.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state can still change.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Fn is the unit of work. It must honour ctx: mapsd passes it down
+// to sim.RunContext so cancellation reaches the simulation loop.
+type Fn func(ctx context.Context) (any, error)
+
+// Errors returned by Submit.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrShutdown  = errors.New("jobs: pool is shut down")
+)
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// Snapshot is an immutable copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Err is the failure message (failed/canceled states).
+	Err string `json:"error,omitempty"`
+	// Result is the job's output once done. It is shared, not copied;
+	// treat it as immutable.
+	Result any `json:"-"`
+}
+
+// job is the internal mutable record.
+type job struct {
+	snap    Snapshot
+	fn      Fn
+	timeout time.Duration
+	cancel  context.CancelFunc // non-nil once running; also set for queued cancellation
+	doneCh  chan struct{}      // closed on reaching a terminal state
+}
+
+// Stats counts pool activity. Queued/Running are current populations;
+// the rest are cumulative.
+type Stats struct {
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queue_capacity"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Pool runs jobs on a fixed set of workers.
+type Pool struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	queue   chan *job
+	seq     uint64
+	closed  bool
+	stats   Stats
+	wg      sync.WaitGroup // workers
+	baseCtx context.Context
+	stopAll context.CancelFunc
+}
+
+// New starts a pool with the given worker count and queue depth
+// (both clamped to ≥ 1).
+func New(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, depth),
+		baseCtx: ctx,
+		stopAll: cancel,
+	}
+	p.stats.Workers = workers
+	p.stats.QueueCap = depth
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn, returning the new job's ID. A zero timeout
+// means no per-job deadline. Returns ErrQueueFull when the queue is
+// at capacity and ErrShutdown after Shutdown has begun.
+func (p *Pool) Submit(fn Fn, timeout time.Duration) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return "", ErrShutdown
+	}
+	p.seq++
+	j := &job{
+		snap: Snapshot{
+			ID:      fmt.Sprintf("j-%08d", p.seq),
+			State:   StateQueued,
+			Created: time.Now(),
+		},
+		fn:      fn,
+		timeout: timeout,
+		doneCh:  make(chan struct{}),
+	}
+	select {
+	case p.queue <- j:
+	default:
+		p.seq-- // ID was never exposed; reuse it
+		p.stats.Rejected++
+		return "", ErrQueueFull
+	}
+	p.jobs[j.snap.ID] = j
+	p.stats.Submitted++
+	p.stats.Queued++
+	return j.snap.ID, nil
+}
+
+// Complete is a convenience for cache hits: it registers a job that
+// is already done with the given result, so clients see one uniform
+// job lifecycle whether or not the simulator actually ran.
+func (p *Pool) Complete(result any) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return "", ErrShutdown
+	}
+	p.seq++
+	now := time.Now()
+	j := &job{
+		snap: Snapshot{
+			ID:       fmt.Sprintf("j-%08d", p.seq),
+			State:    StateDone,
+			Created:  now,
+			Started:  now,
+			Finished: now,
+			Result:   result,
+		},
+		doneCh: make(chan struct{}),
+	}
+	close(j.doneCh)
+	p.jobs[j.snap.ID] = j
+	p.stats.Submitted++
+	p.stats.Completed++
+	return j.snap.ID, nil
+}
+
+// Get returns a snapshot of the job.
+func (p *Pool) Get(id string) (Snapshot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snap, nil
+}
+
+// Cancel stops a queued or running job. Cancelling a queued job is
+// immediate; a running job stops at its next cancellation check.
+// Cancelling a terminal job is a no-op (returns nil).
+func (p *Pool) Cancel(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.snap.State {
+	case StateQueued:
+		p.finishLocked(j, StateCanceled, nil, context.Canceled)
+	case StateRunning:
+		j.cancel() // worker observes ctx and finishes the job
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// then returns the final snapshot.
+func (p *Pool) Wait(ctx context.Context, id string) (Snapshot, error) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	select {
+	case <-j.doneCh:
+		return p.Get(id)
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Shutdown stops intake and drains: queued and running jobs run to
+// completion. If ctx expires first, everything still in flight is
+// cancelled and Shutdown returns ctx.Err() after the workers exit.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.queue) // workers drain the remaining queue, then exit
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.stopAll() // cancel every in-flight job
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.runOne(j)
+	}
+}
+
+func (p *Pool) runOne(j *job) {
+	p.mu.Lock()
+	if j.snap.State != StateQueued { // canceled while queued
+		p.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(p.baseCtx, j.timeout)
+	}
+	j.cancel = cancel
+	j.snap.State = StateRunning
+	j.snap.Started = time.Now()
+	p.stats.Queued--
+	p.stats.Running++
+	p.mu.Unlock()
+
+	result, err := j.fn(ctx)
+	cancel()
+
+	p.mu.Lock()
+	p.stats.Running--
+	switch {
+	case err == nil:
+		p.finishLocked(j, StateDone, result, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		p.finishLocked(j, StateCanceled, nil, err)
+	default:
+		p.finishLocked(j, StateFailed, nil, err)
+	}
+	p.mu.Unlock()
+}
+
+// finishLocked moves j to a terminal state. Caller holds p.mu.
+func (p *Pool) finishLocked(j *job, state State, result any, err error) {
+	if j.snap.State.Terminal() {
+		return
+	}
+	if j.snap.State == StateQueued {
+		p.stats.Queued--
+	}
+	j.snap.State = state
+	j.snap.Finished = time.Now()
+	j.snap.Result = result
+	if err != nil {
+		j.snap.Err = err.Error()
+	}
+	switch state {
+	case StateDone:
+		p.stats.Completed++
+	case StateFailed:
+		p.stats.Failed++
+	case StateCanceled:
+		p.stats.Canceled++
+	}
+	close(j.doneCh)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,207 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	p := New(2, 4)
+	defer p.Shutdown(context.Background())
+	id, err := p.Submit(func(ctx context.Context) (any, error) { return 42, nil }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || snap.Result.(int) != 42 {
+		t.Fatalf("snap: %+v", snap)
+	}
+	if snap.Started.IsZero() || snap.Finished.Before(snap.Started) {
+		t.Fatalf("timestamps not monotone: %+v", snap)
+	}
+}
+
+func TestSubmitFailure(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		return nil, fmt.Errorf("boom")
+	}, 0)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateFailed || snap.Err != "boom" {
+		t.Fatalf("snap: %+v", snap)
+	}
+	if s := p.Stats(); s.Failed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker…
+	p.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}, 0)
+	<-started
+	// …fill the single queue slot…
+	if _, err := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0); err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	// …and the third must be rejected with back-pressure.
+	if _, err := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if s := p.Stats(); s.Rejected != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	close(block)
+}
+
+func TestCancelRunning(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	started := make(chan struct{})
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 0)
+	<-started
+	if err := p.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", snap.State)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	p := New(1, 2)
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var ran atomic.Bool
+	p.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}, 0)
+	<-started
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	}, 0)
+	if err := p.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Get(id)
+	if snap.State != StateCanceled {
+		t.Fatalf("state %s, want canceled (immediately, while queued)", snap.State)
+	}
+	close(block)
+	p.Shutdown(context.Background())
+	if ran.Load() {
+		t.Fatal("canceled queued job must never run")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 10*time.Millisecond)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateCanceled {
+		t.Fatalf("state %s, want canceled on deadline", snap.State)
+	}
+}
+
+func TestCompleteRegistersTerminalJob(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	id, err := p.Complete("cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || snap.Result.(string) != "cached" {
+		t.Fatalf("snap: %+v", snap)
+	}
+	// Wait on an already-done job returns immediately.
+	if _, err := p.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	p := New(1, 4)
+	var finished atomic.Int32
+	slow := func(ctx context.Context) (any, error) {
+		time.Sleep(20 * time.Millisecond)
+		finished.Add(1)
+		return nil, nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Submit(slow, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := finished.Load(); got != 3 {
+		t.Fatalf("%d jobs finished, want 3 (drain must complete queued work)", got)
+	}
+	if _, err := p.Submit(slow, 0); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("got %v, want ErrShutdown", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	p := New(1, 1)
+	started := make(chan struct{})
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // only a cancellation lets this job end
+		return nil, ctx.Err()
+	}, 0)
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	snap, _ := p.Get(id)
+	if snap.State != StateCanceled {
+		t.Fatalf("state %s, want canceled after forced shutdown", snap.State)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	if _, err := p.Get("j-missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if err := p.Cancel("j-missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}

@@ -107,6 +107,28 @@ func (k Kind) String() string {
 // MetaKinds lists the metadata kinds in a stable order, for reports.
 var MetaKinds = []Kind{KindCounter, KindHash, KindTree}
 
+// MarshalText encodes the kind as its String name, so JSON maps keyed
+// by Kind serialize as {"counter": ..., "hash": ..., "tree": ...}
+// rather than numeric codes.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText decodes a String-encoded kind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "data":
+		*k = KindData
+	case "counter":
+		*k = KindCounter
+	case "hash":
+		*k = KindHash
+	case "tree":
+		*k = KindTree
+	default:
+		return fmt.Errorf("memlayout: unknown kind %q", s)
+	}
+	return nil
+}
+
 // Addr is a physical byte address in the simulated memory. Block
 // addresses are always BlockSize-aligned.
 type Addr = uint64

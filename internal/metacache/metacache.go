@@ -7,6 +7,7 @@ package metacache
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/maps-sim/mapsim/internal/cache"
 	"github.com/maps-sim/mapsim/internal/cache/policy"
@@ -71,6 +72,31 @@ func (p ContentPolicy) String() string {
 		return "hashes+tree"
 	default:
 		return fmt.Sprintf("ContentPolicy(%#x)", uint8(p))
+	}
+}
+
+// ParseContent resolves a content-policy name ("counters",
+// "counters+hashes", "all", "hashes", "tree", "counters+tree",
+// "hashes+tree") — the inverse of String. The CLI flags and the
+// mapsd wire format share it.
+func ParseContent(name string) (ContentPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "counters":
+		return CountersOnly, nil
+	case "counters+hashes":
+		return CountersHashes, nil
+	case "all", "":
+		return AllTypes, nil
+	case "hashes":
+		return HashesOnly, nil
+	case "tree":
+		return TreeOnly, nil
+	case "counters+tree":
+		return CountersTree, nil
+	case "hashes+tree":
+		return HashesTree, nil
+	default:
+		return 0, fmt.Errorf("metacache: unknown content policy %q", name)
 	}
 }
 

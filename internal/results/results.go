@@ -1,0 +1,239 @@
+// Package results is a content-addressed, LRU-bounded cache of
+// simulation results. Jobs are keyed by a canonical hash of the
+// simulation configuration (after sim.Config.Canonical applies every
+// default), so two requests that would simulate identically — however
+// differently they were spelled — share one cache entry and the
+// second is served without re-running the simulator.
+//
+// Canonicalization rules (also in DESIGN.md):
+//
+//  1. Defaults are applied first via sim.Config.Canonical, so an
+//     omitted field and its explicit default hash equal.
+//  2. Configs carrying caller state (Workload, Tap, Meta.Policy,
+//     Meta.Partition) are rejected — function values and stateful
+//     policy instances have no canonical encoding.
+//  3. Every remaining field is written into the hash in a fixed
+//     order with an explicit field tag, so reordering or adding
+//     fields can never silently collide with an old encoding.
+//  4. Suite jobs additionally hash the benchmark list in request
+//     order (order changes SuiteResult.Order, hence the result).
+package results
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sync"
+
+	"github.com/maps-sim/mapsim/internal/sim"
+)
+
+// Key is a content address: hex-encoded SHA-256 of the canonical
+// configuration encoding.
+type Key string
+
+// hashField writes a tagged scalar into the hash. The tag keeps
+// field boundaries unambiguous (two adjacent integers can never
+// re-associate) and makes encodings self-describing enough that
+// adding a field changes every affected hash.
+func hashField(h hash.Hash, tag string, vals ...uint64) {
+	h.Write([]byte(tag))
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+}
+
+func hashString(h hash.Hash, tag, s string) {
+	hashField(h, tag, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func hashFloat(h hash.Hash, tag string, f float64) {
+	hashField(h, tag, math.Float64bits(f))
+}
+
+// KeyFor computes the content address of a single simulation run.
+func KeyFor(cfg sim.Config) (Key, error) {
+	c, err := cfg.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	hashString(h, "kind", "run")
+	hashConfig(h, c)
+	return Key(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// SuiteKeyFor computes the content address of a suite fan-out: the
+// shared configuration plus the benchmark list in request order. The
+// base config's Benchmark is excluded — RunSuite overrides it per
+// benchmark, so it cannot influence the result.
+func SuiteKeyFor(base sim.Config, benchmarks []string) (Key, error) {
+	// A suite base config legitimately omits Benchmark; satisfy
+	// Canonical with a placeholder that is then ignored.
+	base.Benchmark = "-"
+	c, err := base.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	hashString(h, "kind", "suite")
+	hashConfig(h, c)
+	hashField(h, "benchcount", uint64(len(benchmarks)))
+	for _, b := range benchmarks {
+		hashString(h, "bench", b)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// hashConfig writes every canonicalized field. Keep this in lockstep
+// with sim.Config: a new field must be hashed here or identical keys
+// could map to different simulations.
+func hashConfig(h hash.Hash, c sim.Config) {
+	hashString(h, "bench", c.Benchmark)
+	hashField(h, "instr", c.Instructions)
+	hashField(h, "warmup", c.Warmup)
+	hashField(h, "seed", uint64(c.Seed))
+	hashField(h, "hier",
+		uint64(c.Hierarchy.L1Size), uint64(c.Hierarchy.L1Ways),
+		uint64(c.Hierarchy.L2Size), uint64(c.Hierarchy.L2Ways),
+		uint64(c.Hierarchy.L3Size), uint64(c.Hierarchy.L3Ways))
+	secure := uint64(0)
+	if c.Secure {
+		secure = 1
+	}
+	hashField(h, "secure", secure)
+	hashField(h, "org", uint64(c.Org))
+	if c.Meta != nil {
+		hashField(h, "meta",
+			uint64(c.Meta.Size), uint64(c.Meta.Ways), uint64(c.Meta.Content))
+		partial := uint64(0)
+		if c.Meta.PartialWrites {
+			partial = 1
+		}
+		hashField(h, "partial", partial)
+	}
+	spec := uint64(0)
+	if c.Speculation {
+		spec = 1
+	}
+	hashField(h, "spec", spec, c.SpeculationWindow)
+	hashField(h, "dram",
+		uint64(c.DRAM.Banks), c.DRAM.RowBytes,
+		c.DRAM.TRCD, c.DRAM.TCAS, c.DRAM.TRP, c.DRAM.TBurst)
+	hashFloat(h, "drampjb", c.DRAM.EnergyPJPerBit)
+	hashFloat(h, "dramact", c.DRAM.RowActivatePJ)
+	hashFloat(h, "cpi", c.BaseCPI)
+	hashField(h, "lat", c.L2HitLatency, c.L3HitLatency)
+}
+
+// Stats counts cache activity. Hits/Misses/Evictions are cumulative;
+// Entries is the current population.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRatio returns Hits / (Hits + Misses), zero when idle.
+func (s Stats) HitRatio() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+type entry struct {
+	key   Key
+	value any
+}
+
+// Cache is a thread-safe LRU-bounded map from content address to
+// result. Values are opaque (the server stores *sim.Result and
+// *sim.SuiteResult); the cache never mutates them, and callers must
+// treat returned values as shared and immutable.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	byKey map[Key]*list.Element
+	stats Stats
+}
+
+// New creates a cache holding at most capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently
+// used, and records a hit or miss.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put stores value under key, evicting the least recently used entry
+// when full. Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(key Key, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+	c.byKey[key] = c.order.PushFront(&entry{key: key, value: value})
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.order.Len()
+	s.Capacity = c.cap
+	return s
+}
+
+// String summarizes the cache for logs.
+func (c *Cache) String() string {
+	s := c.Stats()
+	return fmt.Sprintf("results.Cache{%d/%d entries, %d hits, %d misses, %d evictions}",
+		s.Entries, s.Capacity, s.Hits, s.Misses, s.Evictions)
+}

@@ -1,0 +1,373 @@
+// Package server is mapsd's HTTP layer: a JSON API over the job pool
+// (internal/jobs) and the content-addressed result cache
+// (internal/results).
+//
+//	POST   /v1/jobs            submit a run or suite job
+//	GET    /v1/jobs/{id}        poll status
+//	GET    /v1/jobs/{id}/result fetch the finished result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/benchmarks       list workloads
+//	GET    /v1/experiments      list experiment harnesses
+//	GET    /metrics             Prometheus-style counters, no deps
+//	GET    /healthz             liveness
+//
+// Submission consults the result cache first: a request whose
+// canonical config hash is already cached gets a job that is born
+// done, carrying the cached result — the simulator never runs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/experiments"
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/results"
+	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation worker count (default NumCPU).
+	Workers int
+	// QueueDepth bounds the backlog; submissions beyond it get 503
+	// (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+}
+
+// jobMeta is the server-side annotation the pool doesn't know about.
+type jobMeta struct {
+	typ      string
+	key      results.Key
+	cacheHit bool
+}
+
+// Server wires the HTTP API to the pool and cache.
+type Server struct {
+	pool  *jobs.Pool
+	cache *results.Cache
+	mux   *http.ServeMux
+
+	mu   sync.Mutex
+	meta map[string]jobMeta
+
+	// Throughput accounting across finished simulations.
+	instrTotal atomic.Uint64
+	busyNanos  atomic.Int64
+	started    time.Time
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		pool:    jobs.New(cfg.Workers, cfg.QueueDepth),
+		cache:   results.New(cfg.CacheEntries),
+		mux:     http.NewServeMux(),
+		meta:    make(map[string]jobMeta),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the HTTP entrypoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the pool: queued and running jobs complete unless
+// ctx expires first, in which case they are cancelled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// CacheStats exposes the result-cache counters (tests and metrics).
+func (s *Server) CacheStats() results.Stats { return s.cache.Stats() }
+
+// PoolStats exposes the job-pool counters.
+func (s *Server) PoolStats() jobs.Stats { return s.pool.Stats() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Type == "" {
+		req.Type = TypeRun
+	}
+	cfg, err := req.Config.ToSim()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutSec * float64(time.Second))
+
+	var key results.Key
+	var fn jobs.Fn
+	switch req.Type {
+	case TypeRun:
+		if len(req.Benchmarks) > 0 {
+			writeError(w, http.StatusBadRequest, "run jobs take config.benchmark, not benchmarks")
+			return
+		}
+		if _, err := workload.New(cfg.Benchmark); err != nil {
+			writeError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+		key, err = results.KeyFor(cfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+		fn = s.runFn(cfg, key)
+	case TypeSuite:
+		benchmarks := req.Benchmarks
+		if len(benchmarks) == 0 {
+			benchmarks = workload.Names()
+		}
+		for _, b := range benchmarks {
+			if _, err := workload.New(b); err != nil {
+				writeError(w, http.StatusBadRequest, "bad benchmark list: %v", err)
+				return
+			}
+		}
+		key, err = results.SuiteKeyFor(cfg, benchmarks)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+		fn = s.suiteFn(cfg, benchmarks, req.Parallelism, key)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown job type %q (want run or suite)", req.Type)
+		return
+	}
+
+	if !req.NoCache {
+		if cached, ok := s.cache.Get(key); ok {
+			id, err := s.pool.Complete(cached)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			s.noteJob(id, jobMeta{typ: req.Type, key: key, cacheHit: true})
+			snap, _ := s.pool.Get(id)
+			writeJSON(w, http.StatusOK, s.status(snap))
+			return
+		}
+	}
+
+	id, err := s.pool.Submit(fn, timeout)
+	switch err {
+	case nil:
+	case jobs.ErrQueueFull, jobs.ErrShutdown:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.noteJob(id, jobMeta{typ: req.Type, key: key})
+	snap, _ := s.pool.Get(id)
+	writeJSON(w, http.StatusAccepted, s.status(snap))
+}
+
+// runFn wraps one simulation as a pool job: run under ctx, account
+// throughput, populate the cache.
+func (s *Server) runFn(cfg sim.Config, key results.Key) jobs.Fn {
+	return func(ctx context.Context) (any, error) {
+		t0 := time.Now()
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.account(res.Instructions, time.Since(t0))
+		s.cache.Put(key, res)
+		return res, nil
+	}
+}
+
+func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, key results.Key) jobs.Fn {
+	return func(ctx context.Context) (any, error) {
+		t0 := time.Now()
+		res, err := sim.RunSuiteContext(ctx, cfg, benchmarks, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		var instrs uint64
+		for _, r := range res.PerBench {
+			instrs += r.Instructions
+		}
+		s.account(instrs, time.Since(t0))
+		s.cache.Put(key, res)
+		return res, nil
+	}
+}
+
+func (s *Server) account(instructions uint64, busy time.Duration) {
+	s.instrTotal.Add(instructions)
+	s.busyNanos.Add(int64(busy))
+}
+
+func (s *Server) noteJob(id string, m jobMeta) {
+	s.mu.Lock()
+	s.meta[id] = m
+	s.mu.Unlock()
+}
+
+func (s *Server) jobMeta(id string) jobMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta[id]
+}
+
+func (s *Server) status(snap jobs.Snapshot) JobStatus {
+	m := s.jobMeta(snap.ID)
+	return JobStatus{
+		ID:       snap.ID,
+		Type:     m.typ,
+		State:    snap.State,
+		Key:      string(m.key),
+		CacheHit: m.cacheHit,
+		Created:  snap.Created,
+		Started:  snap.Started,
+		Finished: snap.Finished,
+		Error:    snap.Err,
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.pool.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(snap))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.pool.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	switch snap.State {
+	case jobs.StateDone:
+	case jobs.StateQueued, jobs.StateRunning:
+		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s until done", id, snap.State, id)
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s: %s", id, snap.State, snap.Err)
+		return
+	}
+	m := s.jobMeta(id)
+	out := JobResult{ID: id, Type: m.typ}
+	switch res := snap.Result.(type) {
+	case *sim.Result:
+		out.Run = res
+	case *sim.SuiteResult:
+		out.Suite = res
+	default:
+		writeError(w, http.StatusInternalServerError, "job %s holds unexpected result type %T", id, snap.Result)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.pool.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap, err := s.pool.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(snap))
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"benchmarks":       workload.Names(),
+		"memory_intensive": workload.MemoryIntensive(),
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"experiments": experiments.Names()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	cs := s.cache.Stats()
+	instr := s.instrTotal.Load()
+	busy := time.Duration(s.busyNanos.Load())
+	var ips float64
+	if busy > 0 {
+		ips = float64(instr) / busy.Seconds()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP mapsd_jobs_queued Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_queued gauge\nmapsd_jobs_queued %d\n", ps.Queued)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_running gauge\nmapsd_jobs_running %d\n", ps.Running)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_submitted_total counter\nmapsd_jobs_submitted_total %d\n", ps.Submitted)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_completed_total counter\nmapsd_jobs_completed_total %d\n", ps.Completed)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_failed_total counter\nmapsd_jobs_failed_total %d\n", ps.Failed)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_canceled_total counter\nmapsd_jobs_canceled_total %d\n", ps.Canceled)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_rejected_total counter\nmapsd_jobs_rejected_total %d\n", ps.Rejected)
+	fmt.Fprintf(w, "# TYPE mapsd_workers gauge\nmapsd_workers %d\n", ps.Workers)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_hits_total counter\nmapsd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_misses_total counter\nmapsd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_evictions_total counter\nmapsd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_entries gauge\nmapsd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_hit_ratio gauge\nmapsd_cache_hit_ratio %g\n", cs.HitRatio())
+	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_total counter\nmapsd_simulated_instructions_total %d\n", instr)
+	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_per_second gauge\nmapsd_simulated_instructions_per_second %g\n", ips)
+	fmt.Fprintf(w, "# TYPE mapsd_uptime_seconds gauge\nmapsd_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/cliutil"
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/sim"
+)
+
+// Job types accepted by POST /v1/jobs.
+const (
+	TypeRun   = "run"   // one benchmark, one sim.Result
+	TypeSuite = "suite" // benchmark fan-out, one sim.SuiteResult
+)
+
+// ByteSize is an int byte count that also unmarshals from strings
+// like "64KB" or "1MB", so curl requests read like the CLI flags.
+type ByteSize int
+
+// UnmarshalJSON accepts either a JSON number (bytes) or a size
+// string understood by cliutil.ParseSize.
+func (b *ByteSize) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		n, err := cliutil.ParseSize(s)
+		if err != nil {
+			return err
+		}
+		*b = ByteSize(n)
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	*b = ByteSize(n)
+	return nil
+}
+
+// MetaSpec is the wire form of metacache.Config. Replacement policy
+// and partitioning are deliberately absent: they are stateful
+// instances with no canonical encoding, so jobs always run the
+// pseudo-LRU default (the paper's baseline) and stay cacheable.
+type MetaSpec struct {
+	Size ByteSize `json:"size"`
+	// Ways defaults to 8 (Table I).
+	Ways int `json:"ways,omitempty"`
+	// Content names the content policy ("counters",
+	// "counters+hashes", "all", ...); empty means all.
+	Content       string `json:"content,omitempty"`
+	PartialWrites bool   `json:"partial_writes,omitempty"`
+}
+
+// ConfigSpec is the wire form of sim.Config: the JSON-expressible
+// subset (no Workload, Tap, Policy, or Partition — exactly the fields
+// sim.Config.Canonical admits). Zero fields take the simulator's
+// defaults, except Secure which defaults to true — a secure-memory
+// service that silently simulated insecure baselines would be a trap.
+type ConfigSpec struct {
+	Benchmark         string    `json:"benchmark"`
+	Instructions      uint64    `json:"instructions,omitempty"`
+	Warmup            uint64    `json:"warmup,omitempty"`
+	Seed              int64     `json:"seed,omitempty"`
+	Secure            *bool     `json:"secure,omitempty"`
+	Org               string    `json:"org,omitempty"` // "pi" (default) or "sgx"
+	Speculation       bool      `json:"speculation,omitempty"`
+	SpeculationWindow uint64    `json:"speculation_window,omitempty"`
+	Meta              *MetaSpec `json:"meta,omitempty"`
+	BaseCPI           float64   `json:"base_cpi,omitempty"`
+}
+
+// ToSim translates the wire config into a sim.Config.
+func (c ConfigSpec) ToSim() (sim.Config, error) {
+	cfg := sim.Config{
+		Benchmark:         c.Benchmark,
+		Instructions:      c.Instructions,
+		Warmup:            c.Warmup,
+		Seed:              c.Seed,
+		Secure:            true,
+		Speculation:       c.Speculation,
+		SpeculationWindow: c.SpeculationWindow,
+		BaseCPI:           c.BaseCPI,
+	}
+	if c.Secure != nil {
+		cfg.Secure = *c.Secure
+	}
+	switch c.Org {
+	case "", "pi", "poisonivy":
+		cfg.Org = memlayout.PoisonIvy
+	case "sgx":
+		cfg.Org = memlayout.SGX
+	default:
+		return sim.Config{}, fmt.Errorf("unknown org %q (want pi or sgx)", c.Org)
+	}
+	if c.Meta != nil {
+		if c.Meta.Size <= 0 {
+			return sim.Config{}, fmt.Errorf("meta.size must be positive")
+		}
+		content, err := metacache.ParseContent(c.Meta.Content)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		ways := c.Meta.Ways
+		if ways == 0 {
+			ways = 8
+		}
+		cfg.Meta = &metacache.Config{
+			Size:          int(c.Meta.Size),
+			Ways:          ways,
+			Content:       content,
+			PartialWrites: c.Meta.PartialWrites,
+		}
+	}
+	return cfg, nil
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Type selects run or suite; empty defaults to run.
+	Type   string     `json:"type,omitempty"`
+	Config ConfigSpec `json:"config"`
+	// Benchmarks restricts a suite fan-out (empty = full registry).
+	// Run jobs must leave it empty and name Config.Benchmark instead.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Parallelism bounds a suite's concurrent simulations inside its
+	// one job slot (default NumCPU).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutSec caps the job's runtime; zero means no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// NoCache skips the result-cache lookup (the computed result is
+	// still stored), for forced re-runs.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// JobStatus is the wire form of a job, returned by submit, status,
+// and cancel endpoints.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Type     string     `json:"type"`
+	State    jobs.State `json:"state"`
+	Key      string     `json:"key"`
+	CacheHit bool       `json:"cache_hit"`
+	Created  time.Time  `json:"created"`
+	Started  time.Time  `json:"started"`
+	Finished time.Time  `json:"finished"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// JobResult is the body of GET /v1/jobs/{id}/result. Exactly one of
+// Run/Suite is set, matching Type.
+type JobResult struct {
+	ID    string           `json:"id"`
+	Type  string           `json:"type"`
+	Run   *sim.Result      `json:"run,omitempty"`
+	Suite *sim.SuiteResult `json:"suite,omitempty"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

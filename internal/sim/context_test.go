@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/cache/policy"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/trace"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// A cancelled context must stop a long run mid-flight rather than
+// letting it complete.
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Far more instructions than complete in the test's lifetime.
+		_, err := RunContext(ctx, Config{Benchmark: "libquantum", Instructions: 2_000_000_000})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, Config{Benchmark: "libquantum", Instructions: 2_000_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// One failing benchmark must cancel the rest of the fan-out: the
+// remaining long runs stop early instead of completing and being
+// discarded.
+func TestRunSuiteContextEarlyCancelOnFailure(t *testing.T) {
+	start := time.Now()
+	// "no-such-bench" fails instantly in fill; the valid benchmarks
+	// are sized so that finishing them all would take far longer than
+	// the asserted bound.
+	_, err := RunSuiteContext(context.Background(), Config{Instructions: 500_000_000},
+		[]string{"no-such-bench", "libquantum", "fft", "canneal", "leslie3d"}, 2)
+	if err == nil {
+		t.Fatal("want error from invalid benchmark")
+	}
+	if !strings.Contains(err.Error(), "no-such-bench") {
+		t.Fatalf("error %q does not name the failing benchmark", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("suite took %v; cancellation did not stop the fan-out", elapsed)
+	}
+}
+
+func TestRunSuiteContextParentCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSuiteContext(ctx, Config{Instructions: 100_000_000}, []string{"libquantum", "fft"}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestCanonicalAppliesDefaults(t *testing.T) {
+	implicit, err := Config{Benchmark: "fft"}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Config{
+		Benchmark:    "fft",
+		Instructions: 2_000_000,
+		Warmup:       200_000,
+		Seed:         1,
+	}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(implicit, explicit) {
+		t.Fatalf("defaulted config differs from explicit equivalent:\n%+v\n%+v", implicit, explicit)
+	}
+	if implicit.Instructions != 2_000_000 || implicit.Warmup != 200_000 || implicit.Seed != 1 {
+		t.Fatalf("defaults not applied: %+v", implicit)
+	}
+	if implicit.Hierarchy.L1Size == 0 || implicit.DRAM.Banks == 0 || implicit.BaseCPI != 1.0 {
+		t.Fatalf("structural defaults not applied: %+v", implicit)
+	}
+}
+
+func TestCanonicalRejectsStatefulFields(t *testing.T) {
+	if _, err := (Config{}).Canonical(); err == nil {
+		t.Error("want error for missing benchmark")
+	}
+	if _, err := (Config{Benchmark: "fft", Tap: func(trace.Access) {}}).Canonical(); err == nil {
+		t.Error("want error for Tap")
+	}
+	g, err := workload.New("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Config{Workload: g}).Canonical(); err == nil {
+		t.Error("want error for caller-supplied Workload")
+	}
+	if _, err := (Config{
+		Benchmark: "fft",
+		Meta:      &metacache.Config{Size: 64 << 10, Ways: 8, Policy: policy.NewLRU()},
+	}).Canonical(); err == nil {
+		t.Error("want error for stateful Meta.Policy")
+	}
+}

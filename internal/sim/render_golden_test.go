@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/dram"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+)
+
+// Golden test: the human-readable table rendering is part of the CLI
+// contract and must not drift as result structs gain JSON tags or new
+// fields. Built from a hand-constructed SuiteResult so the expected
+// text is exact, not simulation-dependent.
+func TestSuiteResultRenderGolden(t *testing.T) {
+	s := &SuiteResult{
+		PerBench: map[string]*Result{
+			"fft": {
+				Benchmark: "fft", LLCMPKI: 12.3456, MetaMPKI: 4.5678, IPC: 0.98765,
+				DRAM: dram.Stats{Reads: 1000, Writes: 234},
+			},
+			"canneal": {
+				Benchmark: "canneal", LLCMPKI: 30, MetaMPKI: 15.5, IPC: 0.5,
+				DRAM: dram.Stats{Reads: 4000, Writes: 1000},
+			},
+		},
+		Order:           []string{"fft", "canneal"},
+		GeomeanLLCMPKI:  19.2465,
+		GeomeanMetaMPKI: 8.4142,
+		GeomeanIPC:      0.70271,
+	}
+	got := s.Render()
+	want := "benchmark  LLC MPKI  meta MPKI  IPC    mem accesses\n" +
+		"---------  --------  ---------  -----  ------------\n" +
+		"fft        12.35     4.57       0.988  1234        \n" +
+		"canneal    30.00     15.50      0.500  5000        \n" +
+		"geomean    19.25     8.41       0.703              \n"
+	if got != want {
+		t.Errorf("Render drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The JSON encoding feeds both `maps -json` and mapsd's API; pin the
+// key spelling so clients don't break when fields are renamed.
+func TestSuiteResultJSONKeys(t *testing.T) {
+	s := &SuiteResult{
+		PerBench: map[string]*Result{
+			"fft": {
+				Benchmark: "fft",
+				Meta: map[memlayout.Kind]KindResult{
+					memlayout.KindCounter: {Accesses: 10, Hits: 9, Misses: 1, MPKI: 0.5},
+				},
+			},
+		},
+		Order: []string{"fft"},
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(buf)
+	for _, key := range []string{
+		`"per_bench"`, `"order"`, `"geomean_llc_mpki"`, `"geomean_meta_mpki"`,
+		`"geomean_ipc"`, `"geomean_ed2"`, `"benchmark"`, `"llc_mpki"`,
+		`"counter"`, // Kind map keys serialize as names, not numbers
+	} {
+		if !strings.Contains(text, key) {
+			t.Errorf("JSON missing %s:\n%s", key, text)
+		}
+	}
+	// Round-trip through the wire format.
+	var back SuiteResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	kr := back.PerBench["fft"].Meta[memlayout.KindCounter]
+	if kr.Hits != 9 || kr.MPKI != 0.5 {
+		t.Fatalf("round-trip lost data: %+v", kr)
+	}
+}

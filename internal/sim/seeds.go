@@ -7,10 +7,10 @@ import (
 
 // SeedStats summarizes a metric across seeds.
 type SeedStats struct {
-	Mean   float64
-	StdDev float64
-	Min    float64
-	Max    float64
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 func summarize(vals []float64) SeedStats {
@@ -36,12 +36,12 @@ func summarize(vals []float64) SeedStats {
 
 // SeedsResult reports metric distributions across workload seeds.
 type SeedsResult struct {
-	Seeds    int
-	MetaMPKI SeedStats
-	LLCMPKI  SeedStats
-	IPC      SeedStats
+	Seeds    int       `json:"seeds"`
+	MetaMPKI SeedStats `json:"meta_mpki"`
+	LLCMPKI  SeedStats `json:"llc_mpki"`
+	IPC      SeedStats `json:"ipc"`
 	// Runs holds the individual results, seed order.
-	Runs []*Result
+	Runs []*Result `json:"runs"`
 }
 
 // RunSeeds repeats one configuration across n workload seeds

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/maps-sim/mapsim/internal/cache"
@@ -80,7 +81,41 @@ func (c *Config) fill() error {
 		}
 		c.Workload = g
 	}
-	if c.Benchmark == "" {
+	c.fillDefaults()
+	return nil
+}
+
+// Canonical returns the configuration with every default applied —
+// the same rules Run uses — without resolving the workload generator,
+// so two configs that would simulate identically compare (and hash)
+// equal. It is the canonicalization step behind the result cache's
+// content addressing. Configs carrying caller-supplied state
+// (Workload, Tap, Meta.Policy, Meta.Partition) have no canonical
+// form and are rejected.
+func (c Config) Canonical() (Config, error) {
+	switch {
+	case c.Workload != nil:
+		return c, fmt.Errorf("sim: config with a caller-supplied Workload is not canonicalizable")
+	case c.Tap != nil:
+		return c, fmt.Errorf("sim: config with a Tap is not canonicalizable")
+	case c.Meta != nil && (c.Meta.Policy != nil || c.Meta.Partition != nil):
+		return c, fmt.Errorf("sim: config with a stateful Meta.Policy or Meta.Partition is not canonicalizable")
+	case c.Benchmark == "":
+		return c, fmt.Errorf("sim: Benchmark is required")
+	}
+	if c.Meta != nil {
+		metaCopy := *c.Meta
+		c.Meta = &metaCopy
+	}
+	c.fillDefaults()
+	return c, nil
+}
+
+// fillDefaults applies every scalar default. Run's fill and Canonical
+// share it so content addressing can never drift from what Run would
+// actually simulate.
+func (c *Config) fillDefaults() {
+	if c.Benchmark == "" && c.Workload != nil {
 		c.Benchmark = c.Workload.Name()
 	}
 	if c.Instructions == 0 {
@@ -107,54 +142,63 @@ func (c *Config) fill() error {
 	if c.L3HitLatency == 0 {
 		c.L3HitLatency = 40
 	}
-	return nil
 }
 
 // KindResult summarizes one metadata kind. Bypassed accesses (kinds
 // the content policy excludes) are not misses — matching the paper's
 // Figure 1 metric — but still generate memory traffic.
 type KindResult struct {
-	Accesses uint64
-	Hits     uint64
-	Misses   uint64
-	Bypassed uint64
-	MPKI     float64
+	Accesses uint64  `json:"accesses"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Bypassed uint64  `json:"bypassed"`
+	MPKI     float64 `json:"mpki"`
 }
 
 // Result is the output of one simulation.
 type Result struct {
-	Benchmark    string
-	Instructions uint64
-	Cycles       uint64
-	IPC          float64
+	Benchmark    string  `json:"benchmark"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
 
-	LLC      cache.Stats
-	LLCMPKI  float64
-	Hier     [3]cache.Stats // L1, L2, L3
-	DataMPKI float64        // alias of LLCMPKI for readability
+	LLC      cache.Stats    `json:"llc"`
+	LLCMPKI  float64        `json:"llc_mpki"`
+	Hier     [3]cache.Stats `json:"hierarchy"` // L1, L2, L3
+	DataMPKI float64        `json:"data_mpki"` // alias of LLCMPKI for readability
 
 	// Metadata cache results (zero when no metadata cache / insecure).
-	Meta        map[memlayout.Kind]KindResult
-	MetaMPKI    float64 // metadata-cache misses per kilo-instruction
-	MetaMemPKI  float64 // metadata *memory accesses* per kilo-instruction
-	MetaHitRate float64
+	Meta        map[memlayout.Kind]KindResult `json:"meta,omitempty"`
+	MetaMPKI    float64                       `json:"meta_mpki"`    // metadata-cache misses per kilo-instruction
+	MetaMemPKI  float64                       `json:"meta_mem_pki"` // metadata *memory accesses* per kilo-instruction
+	MetaHitRate float64                       `json:"meta_hit_rate"`
 	// TreeLevels holds per-tree-level cache behaviour (leaf first);
 	// upper levels cover more data and should hit more.
-	TreeLevels []KindResult
+	TreeLevels []KindResult `json:"tree_levels,omitempty"`
 
-	Mem               engine.MemTraffic
-	PageReencryptions uint64
-	SpecWindowStalls  uint64
+	Mem               engine.MemTraffic `json:"mem_traffic"`
+	PageReencryptions uint64            `json:"page_reencryptions"`
+	SpecWindowStalls  uint64            `json:"spec_window_stalls"`
 
-	DRAM dram.Stats
+	DRAM dram.Stats `json:"dram"`
 
-	Energy   energy.Account
-	EnergyPJ float64
-	ED2      float64
+	Energy   energy.Account `json:"energy"`
+	EnergyPJ float64        `json:"energy_pj"`
+	ED2      float64        `json:"ed2"`
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (*Result, error) {
+// cancelCheckInterval is how many instructions the simulation loop
+// retires between context checks — rare enough that the check never
+// shows up in profiles, frequent enough (~100 µs of simulated work)
+// that cancellation feels immediate.
+const cancelCheckInterval = 1 << 16
+
+// Run executes one simulation to completion; it cannot be cancelled.
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation, stopping early with ctx.Err()
+// if the context is cancelled or its deadline passes mid-run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -198,14 +242,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		cycles uint64
-		acc    workload.Access
+		cycles     uint64
+		acc        workload.Access
+		sinceCheck uint64
 	)
-	step := func(limit uint64) uint64 {
+	step := func(limit uint64) (uint64, error) {
 		var instrs uint64
 		for instrs < limit {
 			gen.Next(&acc)
 			instrs += uint64(acc.Gap)
+			sinceCheck += uint64(acc.Gap)
+			if sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return instrs, err
+				}
+			}
 			cycles += uint64(float64(acc.Gap) * cfg.BaseCPI)
 			out := hier.Access(acc.Addr, acc.Write)
 			switch out.Hit {
@@ -229,11 +281,13 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		return instrs
+		return instrs, nil
 	}
 
 	// Warmup: run, then discard statistics (state persists).
-	step(cfg.Warmup)
+	if _, err := step(cfg.Warmup); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", cfg.Benchmark, err)
+	}
 	hier.ResetStats()
 	mem.ResetStats()
 	if eng != nil {
@@ -241,7 +295,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	cyclesStart := cycles
 
-	measured := step(cfg.Instructions)
+	measured, err := step(cfg.Instructions)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", cfg.Benchmark, err)
+	}
 	cycles -= cyclesStart
 
 	res := &Result{

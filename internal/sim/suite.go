@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,21 +13,30 @@ import (
 // SuiteResult aggregates one configuration across a benchmark suite.
 type SuiteResult struct {
 	// PerBench maps benchmark name to its result.
-	PerBench map[string]*Result
+	PerBench map[string]*Result `json:"per_bench"`
 	// Order preserves the requested benchmark order for reports.
-	Order []string
+	Order []string `json:"order"`
 
 	// Geomeans across the suite.
-	GeomeanLLCMPKI  float64
-	GeomeanMetaMPKI float64
-	GeomeanIPC      float64
-	GeomeanED2      float64
+	GeomeanLLCMPKI  float64 `json:"geomean_llc_mpki"`
+	GeomeanMetaMPKI float64 `json:"geomean_meta_mpki"`
+	GeomeanIPC      float64 `json:"geomean_ipc"`
+	GeomeanED2      float64 `json:"geomean_ed2"`
 }
 
 // RunSuite runs the same configuration (everything except Benchmark /
 // Workload) across the given benchmarks in parallel. An empty
 // benchmark list selects the full registry.
 func RunSuite(base Config, benchmarks []string, parallelism int) (*SuiteResult, error) {
+	return RunSuiteContext(context.Background(), base, benchmarks, parallelism)
+}
+
+// RunSuiteContext is RunSuite under a context: cancelling ctx stops
+// every in-flight run. The fan-out also cancels itself as soon as any
+// benchmark fails — queued runs never start and in-flight ones stop
+// at their next cancellation check — so a bad config does not burn a
+// suite's worth of simulation before reporting.
+func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, parallelism int) (*SuiteResult, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = workload.Names()
 	}
@@ -37,16 +47,29 @@ func RunSuite(base Config, benchmarks []string, parallelism int) (*SuiteResult, 
 		PerBench: make(map[string]*Result, len(benchmarks)),
 		Order:    append([]string{}, benchmarks...),
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // abandon the rest of the fan-out
+	}
 	for _, b := range benchmarks {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(b string) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // a sibling already failed; don't start
+			}
 			cfg := base
 			cfg.Benchmark = b
 			cfg.Workload = nil // force a private generator per run
@@ -55,30 +78,29 @@ func RunSuite(base Config, benchmarks []string, parallelism int) (*SuiteResult, 
 				// Policies and partition schemes are stateful; a
 				// shared instance across concurrent runs would race.
 				if metaCopy.Policy != nil || metaCopy.Partition != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sim: RunSuite requires nil Meta.Policy and Meta.Partition (stateful instances cannot be shared across runs)")
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("sim: RunSuite requires nil Meta.Policy and Meta.Partition (stateful instances cannot be shared across runs)"))
 					return
 				}
 				cfg.Meta = &metaCopy
 			}
-			r, err := Run(cfg)
-			mu.Lock()
-			defer mu.Unlock()
+			r, err := RunContext(ctx, cfg)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("sim: %s: %w", b, err)
-				}
+				// fail keeps only the first error, so runs cancelled
+				// as victims of an earlier failure never mask it.
+				fail(fmt.Errorf("sim: %s: %w", b, err))
 				return
 			}
+			mu.Lock()
 			res.PerBench[b] = r
+			mu.Unlock()
 		}(b)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var llc, meta, ipc, ed2 []float64

@@ -16,11 +16,17 @@
 //     controller — real AES-CTR encryption and HMAC/tree verification
 //     over a simulated physical memory — for studying (and testing)
 //     the security mechanisms themselves.
+//   - Client talks to a mapsd daemon (cmd/mapsd): the same
+//     simulations as a service, with a job queue and a
+//     content-addressed result cache so identical requests are
+//     answered without re-simulating.
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package mapsim
 
 import (
+	"context"
+
 	"github.com/maps-sim/mapsim/internal/cache"
 	"github.com/maps-sim/mapsim/internal/cache/eva"
 	"github.com/maps-sim/mapsim/internal/cache/opt"
@@ -87,6 +93,10 @@ const (
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
+// RunContext executes one simulation under a context: cancellation or
+// deadline expiry stops the run mid-flight with ctx's error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) { return sim.RunContext(ctx, cfg) }
+
 // SuiteResult aggregates one configuration across benchmarks.
 type SuiteResult = sim.SuiteResult
 
@@ -95,6 +105,13 @@ type SuiteResult = sim.SuiteResult
 // results plus geometric means.
 func RunSuite(base Config, benchmarks []string, parallelism int) (*SuiteResult, error) {
 	return sim.RunSuite(base, benchmarks, parallelism)
+}
+
+// RunSuiteContext is RunSuite under a context. The fan-out cancels
+// itself as soon as any benchmark fails, so the remaining queued runs
+// are never simulated just to be discarded.
+func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, parallelism int) (*SuiteResult, error) {
+	return sim.RunSuiteContext(ctx, base, benchmarks, parallelism)
 }
 
 // SeedsResult reports metric spread across workload seeds.
