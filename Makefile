@@ -1,6 +1,7 @@
 # Verify targets. `make check` is the full gate (ROADMAP "Tier-1
-# verify" plus vet and the race-detector pass over the concurrent
-# packages); CI and pre-commit should run exactly this.
+# verify" plus formatting, vet, the doc-comment lint, and the
+# race-detector pass over the concurrent packages); CI and pre-commit
+# should run exactly this.
 
 GO ?= go
 
@@ -8,12 +9,22 @@ GO ?= go
 # result cache) — the ones -race can actually catch regressions in.
 RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim
 
-.PHONY: check build test vet race run-mapsd
+.PHONY: check build fmt lint test vet race run-mapsd
 
-check: build vet test race
+check: build fmt vet lint test race
 
 build:
 	$(GO) build ./...
+
+# Fail (and list offenders) when any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Doc-comment lint: cliutil.MissingDocs enforced by its test — every
+# exported identifier in the API-surface packages stays documented.
+lint:
+	$(GO) test -run TestRepoPackagesFullyDocumented ./internal/cliutil
 
 test:
 	$(GO) test ./...

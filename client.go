@@ -22,6 +22,8 @@ type (
 	JobStatus = server.JobStatus
 	// JobResult carries a finished job's result (Run or Suite set).
 	JobResult = server.JobResult
+	// JobProgress reports how far a running job's simulation has come.
+	JobProgress = server.JobProgress
 	// ConfigSpec is the JSON-expressible subset of Config.
 	ConfigSpec = server.ConfigSpec
 	// MetaSpec is the wire form of the metadata-cache config.
@@ -70,6 +72,7 @@ type APIError struct {
 	Message    string
 }
 
+// Error renders the status code and the daemon's error message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("mapsd: %d: %s", e.StatusCode, e.Message)
 }
@@ -131,6 +134,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
+}
+
+// Progress fetches a running job's instruction-level progress:
+// monotonically non-decreasing instruction counts, the expected
+// total, and a linear time-remaining estimate. Cache-hit jobs report
+// Fraction 1 with zero counts.
+func (c *Client) Progress(ctx context.Context, id string) (JobProgress, error) {
+	var p JobProgress
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/progress", nil, &p)
+	return p, err
 }
 
 // Wait polls until the job reaches a terminal state or ctx is done.

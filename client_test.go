@@ -128,6 +128,36 @@ func TestClientCancel(t *testing.T) {
 	}
 }
 
+func TestClientProgress(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx := context.Background()
+	res, err := c.RunRemote(ctx, mapsim.ConfigSpec{Benchmark: "fft", Instructions: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 50_000 {
+		t.Fatalf("instructions %d, want ≥ 50000", res.Instructions)
+	}
+	// RunRemote waits for completion, but the job ID is internal to it;
+	// resubmit (cache hit) and probe progress on the returned job.
+	st, err := c.Submit(ctx, mapsim.JobRequest{
+		Type: mapsim.JobRun, Config: mapsim.ConfigSpec{Benchmark: "fft", Instructions: 50_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Progress(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != st.ID || p.Fraction != 1 || !p.CacheHit {
+		t.Fatalf("cache-hit progress: %+v", p)
+	}
+	if _, err := c.Progress(ctx, "j-99999999"); err == nil {
+		t.Fatal("want 404 error for unknown job progress")
+	}
+}
+
 func TestClientBenchmarks(t *testing.T) {
 	c, _ := startDaemon(t)
 	names, err := c.RemoteBenchmarks(context.Background())

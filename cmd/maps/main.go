@@ -13,12 +13,18 @@
 //
 // Flags:
 //
-//	-instructions N   simulated instructions per run (default 2000000)
-//	-benchmarks a,b   restrict the benchmark set
-//	-parallel N       concurrent simulations (default NumCPU)
-//	-plot             append ASCII charts to each experiment's tables
-//	-json             emit machine-readable results (the same structs
-//	                  mapsd serializes) instead of rendered tables
+//	-instructions N       simulated instructions per run (default 2000000)
+//	-benchmarks a,b       restrict the benchmark set
+//	-parallel N           concurrent simulations (default NumCPU)
+//	-plot                 append ASCII charts to each experiment's tables
+//	-json                 emit machine-readable results (the same structs
+//	                      mapsd serializes) instead of rendered tables
+//	-v                    verbose structured logs on stderr
+//	-log-format text|json log output format (default text)
+//
+// Running more than one experiment (including `maps all`) appends a
+// per-experiment wall-clock timing table; with -json the same data is
+// emitted as a final {"timing": [...]} object.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"github.com/maps-sim/mapsim/internal/experiments"
+	"github.com/maps-sim/mapsim/internal/obs"
 )
 
 func main() {
@@ -38,11 +45,19 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default NumCPU)")
+	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
+	verbose := flag.Bool("v", false, "verbose logging (Debug level) on stderr")
 	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		usage()
+		os.Exit(2)
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maps: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -55,148 +70,74 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
 	}
+	reports := make([]*experiments.Report, 0, len(names))
 	for _, name := range names {
-		if err := runOne(name, opt, *withPlot, *asJSON); err != nil {
+		logger.Debug("experiment start", "experiment", name)
+		rep, err := experiments.Run(name, opt, *withPlot)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "maps: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		logger.Info("experiment done", "experiment", name, "elapsed", rep.Elapsed)
+		if err := emit(rep, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "maps: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+	}
+	if len(reports) > 1 {
+		if err := emitTiming(reports, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "maps: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// run executes one experiment, returning both the structured result
-// (for -json; the same structs mapsd's API serializes) and the
-// rendered tables (plus an optional chart).
-func run(name string, opt experiments.Options, withPlot bool) (result any, out, chart string, err error) {
-	switch name {
-	case "table1":
-		out = experiments.Table1()
-		result = out
-	case "table2":
-		r := experiments.Table2()
-		result, out = r, r.Render()
-	case "fig1":
-		r, err := experiments.Fig1(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "fig2":
-		r, err := experiments.Fig2(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "fig3":
-		r, err := experiments.Fig3(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "fig4":
-		r, err := experiments.Fig4(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "fig5":
-		r, err := experiments.Fig5(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "fig6":
-		r, err := experiments.Fig6(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "fig7":
-		r, err := experiments.Fig7(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-		if withPlot {
-			chart = r.RenderChart()
-		}
-	case "ablate-partial":
-		r, err := experiments.AblatePartial(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "content-matrix":
-		r, err := experiments.ContentMatrix(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "org-compare":
-		r, err := experiments.OrgCompare(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "csopt":
-		r, err := experiments.CSOPT(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "spec-window":
-		r, err := experiments.SpecWindow(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	case "tree-stretch":
-		r, err := experiments.TreeStretch(opt)
-		if err != nil {
-			return nil, "", "", err
-		}
-		result, out = r, r.Render()
-	default:
-		return nil, "", "", fmt.Errorf("unknown experiment (want table1|table2|fig1..fig7|ablate-partial|content-matrix|org-compare|csopt|spec-window|tree-stretch|all)")
-	}
-	return result, out, chart, nil
-}
-
-func runOne(name string, opt experiments.Options, withPlot, asJSON bool) error {
-	start := time.Now()
-	result, out, chart, err := run(name, opt, withPlot)
-	if err != nil {
-		return err
-	}
+// emit prints one experiment's output: indented JSON (timing on
+// stderr, keeping stdout pure) or the rendered tables plus chart.
+func emit(rep *experiments.Report, asJSON bool) error {
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(map[string]any{"experiment": name, "result": result}); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			return err
 		}
-		// Keep stdout pure JSON; timing goes to stderr.
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", rep.Name, rep.Elapsed.Round(time.Millisecond))
 		return nil
 	}
-	fmt.Println(out)
-	if chart != "" {
-		fmt.Println(chart)
+	fmt.Println(rep.Table)
+	if rep.Chart != "" {
+		fmt.Println(rep.Chart)
 	}
-	fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[%s completed in %v]\n\n", rep.Name, rep.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// emitTiming summarizes wall-clock time across a multi-experiment run
+// (`maps all`): a table on stdout, or a final {"timing": [...]}
+// object in -json mode.
+func emitTiming(reports []*experiments.Report, asJSON bool) error {
+	if asJSON {
+		type row struct {
+			Experiment string  `json:"experiment"`
+			ElapsedSec float64 `json:"elapsed_sec"`
+		}
+		rows := make([]row, len(reports))
+		for i, r := range reports {
+			rows[i] = row{r.Name, r.Elapsed.Seconds()}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"timing": rows})
+	}
+	var total time.Duration
+	fmt.Println("experiment timing")
+	fmt.Printf("%-16s %10s\n", "experiment", "wall")
+	for _, r := range reports {
+		fmt.Printf("%-16s %10v\n", r.Name, r.Elapsed.Round(time.Millisecond))
+		total += r.Elapsed
+	}
+	fmt.Printf("%-16s %10v\n", "total", total.Round(time.Millisecond))
 	return nil
 }
 

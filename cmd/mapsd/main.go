@@ -1,20 +1,25 @@
 // Command mapsd serves the MAPS simulator as a long-lived daemon:
-// submit simulation or suite jobs over HTTP, poll their status, and
-// fetch results. Identical requests (by canonical config hash) are
-// answered from an LRU result cache without re-simulating.
+// submit simulation or suite jobs over HTTP, poll their status and
+// progress, and fetch results. Identical requests (by canonical
+// config hash) are answered from an LRU result cache without
+// re-simulating.
 //
 // Usage:
 //
 //	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
+//	      [-log-format text|json] [-v] [-pprof]
 //
-// Endpoints (see internal/server and README "Running mapsd"):
+// Endpoints (see internal/server and docs/OBSERVABILITY.md):
 //
-//	POST   /v1/jobs             GET /v1/jobs/{id}[/result]
+//	POST   /v1/jobs             GET /v1/jobs/{id}[/result|/progress]
 //	DELETE /v1/jobs/{id}        GET /v1/benchmarks /v1/experiments
 //	GET    /metrics             GET /healthz
+//	GET    /debug/pprof/        (only with -pprof)
 //
-// On SIGINT/SIGTERM the daemon stops accepting work, drains running
-// and queued jobs (bounded by -drain-timeout), and exits.
+// Logs are structured (log/slog) on stderr; -log-format json emits
+// one JSON object per line, -v adds Debug-level span and scrape
+// events. On SIGINT/SIGTERM the daemon stops accepting work, drains
+// running and queued jobs (bounded by -drain-timeout), and exits.
 package main
 
 import (
@@ -22,7 +27,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/server"
 )
 
@@ -39,12 +44,23 @@ func main() {
 	queue := flag.Int("queue", 64, "job queue depth (beyond it, submissions get 503)")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (entries)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
+	verbose := flag.Bool("v", false, "verbose logging (Debug level: spans, scrapes)")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsd: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
+		Logger:       logger,
+		EnablePprof:  *withPprof,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -54,8 +70,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("mapsd: listening on %s (%d workers, queue %d, cache %d entries)",
-			*addr, *workers, *queue, *cacheEntries)
+		logger.Info("mapsd listening",
+			"addr", *addr,
+			"workers", *workers,
+			"queue", *queue,
+			"cache_entries", *cacheEntries,
+			"pprof", *withPprof)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -63,7 +83,7 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("mapsd: %s: draining (up to %v)", sig, *drainTimeout)
+		logger.Info("mapsd draining", "signal", sig.String(), "drain_timeout", *drainTimeout)
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "mapsd: %v\n", err)
 		os.Exit(1)
@@ -74,15 +94,15 @@ func main() {
 	// Stop intake first so drains can't be outrun by new submissions,
 	// then let running and queued jobs finish.
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("mapsd: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("mapsd: drain timed out; in-flight jobs were cancelled")
+			logger.Error("drain timed out; in-flight jobs were cancelled")
 		} else {
-			log.Printf("mapsd: drain: %v", err)
+			logger.Error("drain", "error", err)
 		}
 		os.Exit(1)
 	}
-	log.Printf("mapsd: drained cleanly")
+	logger.Info("drained cleanly")
 }

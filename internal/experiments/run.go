@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report is one experiment's execution record: the structured result
+// (what `maps -json` and mapsd serialize), its rendered table, an
+// optional ASCII chart, and how long the sweep took on the host.
+type Report struct {
+	// Name is the experiment's registry name ("fig1", "csopt", ...).
+	Name string `json:"experiment"`
+	// Result is the experiment-specific result struct (or the rendered
+	// string for the static tables).
+	Result any `json:"result"`
+	// Table is the human-readable rendering.
+	Table string `json:"-"`
+	// Chart is the ASCII chart when requested and supported.
+	Chart string `json:"-"`
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// renderer is implemented by every experiment result that renders a
+// table.
+type renderer interface{ Render() string }
+
+// chartRenderer is implemented by the results that can also draw an
+// ASCII chart.
+type chartRenderer interface{ RenderChart() string }
+
+// wrap adapts a typed experiment harness to the registry signature
+// without letting a typed nil pointer leak into a non-nil any.
+func wrap[T any](f func(Options) (T, error)) func(Options) (any, error) {
+	return func(o Options) (any, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// registry maps every experiment name to its harness. Keep it in
+// lockstep with Names (enforced by TestRegistryCoversNames).
+var registry = map[string]func(Options) (any, error){
+	"table1":         func(Options) (any, error) { return Table1(), nil },
+	"table2":         func(Options) (any, error) { return Table2(), nil },
+	"fig1":           wrap(Fig1),
+	"fig2":           wrap(Fig2),
+	"fig3":           wrap(Fig3),
+	"fig4":           wrap(Fig4),
+	"fig5":           wrap(Fig5),
+	"fig6":           wrap(Fig6),
+	"fig7":           wrap(Fig7),
+	"ablate-partial": wrap(AblatePartial),
+	"content-matrix": wrap(ContentMatrix),
+	"org-compare":    wrap(OrgCompare),
+	"csopt":          wrap(CSOPT),
+	"spec-window":    wrap(SpecWindow),
+	"tree-stretch":   wrap(TreeStretch),
+}
+
+// Run executes one named experiment and reports its result, rendered
+// output, and wall-clock time. withChart additionally renders the
+// ASCII chart for the experiments that support one.
+func Run(name string, opt Options, withChart bool) (*Report, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (want one of %v, or all)", name, Names())
+	}
+	start := time.Now()
+	res, err := fn(opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: name, Result: res, Elapsed: time.Since(start)}
+	switch v := res.(type) {
+	case string:
+		rep.Table = v
+	case renderer:
+		rep.Table = v.Render()
+	}
+	if withChart {
+		if c, ok := res.(chartRenderer); ok {
+			rep.Chart = c.RenderChart()
+		}
+	}
+	return rep, nil
+}

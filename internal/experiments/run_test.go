@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every name in Names must dispatch, and the registry must not grow
+// entries Names doesn't advertise.
+func TestRegistryCoversNames(t *testing.T) {
+	names := Names()
+	for _, name := range names {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("Names lists %q but registry has no harness for it", name)
+		}
+	}
+	if len(registry) != len(names) {
+		t.Errorf("registry has %d entries, Names lists %d", len(registry), len(names))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", Options{}, false); err == nil {
+		t.Fatal("Run(fig99) succeeded, want error")
+	}
+}
+
+// The static tables are free to run; check Report plumbing end to end.
+func TestRunStaticTables(t *testing.T) {
+	for _, name := range []string{"table1", "table2"} {
+		rep, err := Run(name, Options{}, false)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if rep.Name != name {
+			t.Errorf("Run(%s) Name = %q", name, rep.Name)
+		}
+		if rep.Table == "" || rep.Result == nil {
+			t.Errorf("Run(%s) returned empty table or nil result", name)
+		}
+		if rep.Elapsed < 0 {
+			t.Errorf("Run(%s) Elapsed = %v", name, rep.Elapsed)
+		}
+	}
+}
+
+// Charts render only when requested and only where supported (fig5
+// has none).
+func TestRunChartGating(t *testing.T) {
+	opt := Options{Instructions: 50_000, Benchmarks: []string{"fft"}}
+	rep, err := Run("fig1", opt, true)
+	if err != nil {
+		t.Fatalf("Run(fig1): %v", err)
+	}
+	if rep.Chart == "" || !strings.Contains(rep.Chart, "MPKI") {
+		t.Errorf("fig1 with charts: chart missing or unlabeled: %q", rep.Chart)
+	}
+	rep, err = Run("fig1", opt, false)
+	if err != nil {
+		t.Fatalf("Run(fig1): %v", err)
+	}
+	if rep.Chart != "" {
+		t.Error("fig1 without charts still rendered one")
+	}
+}

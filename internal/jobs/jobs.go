@@ -10,8 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"github.com/maps-sim/mapsim/internal/obs"
 )
 
 // State is a job's lifecycle position. Transitions only move
@@ -34,8 +37,20 @@ func (s State) Terminal() bool {
 }
 
 // Fn is the unit of work. It must honour ctx: mapsd passes it down
-// to sim.RunContext so cancellation reaches the simulation loop.
+// to sim.RunContext so cancellation reaches the simulation loop. The
+// context carries the job's ID, recoverable via IDFromContext.
 type Fn func(ctx context.Context) (any, error)
+
+// idKey is the context key carrying the running job's ID.
+type idKey struct{}
+
+// IDFromContext returns the ID of the job this context belongs to,
+// or "" outside a pool-run Fn. It lets the work function scope its
+// logging and metrics to the job without threading the ID by hand.
+func IDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(idKey{}).(string)
+	return id
+}
 
 // Errors returned by Submit.
 var (
@@ -94,11 +109,27 @@ type Pool struct {
 	wg      sync.WaitGroup // workers
 	baseCtx context.Context
 	stopAll context.CancelFunc
+	log     *slog.Logger
+}
+
+// Option configures a Pool at construction time.
+type Option func(*Pool)
+
+// WithLogger makes the pool emit one structured event per job
+// lifecycle transition (enqueued → started → done/failed/canceled,
+// each carrying the job ID and current queue depth) plus drain
+// events. Without it the pool is silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(p *Pool) {
+		if l != nil {
+			p.log = l
+		}
+	}
 }
 
 // New starts a pool with the given worker count and queue depth
 // (both clamped to ≥ 1).
-func New(workers, depth int) *Pool {
+func New(workers, depth int, opts ...Option) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
@@ -111,6 +142,10 @@ func New(workers, depth int) *Pool {
 		queue:   make(chan *job, depth),
 		baseCtx: ctx,
 		stopAll: cancel,
+		log:     obs.Nop(),
+	}
+	for _, o := range opts {
+		o(p)
 	}
 	p.stats.Workers = workers
 	p.stats.QueueCap = depth
@@ -146,11 +181,13 @@ func (p *Pool) Submit(fn Fn, timeout time.Duration) (string, error) {
 	default:
 		p.seq-- // ID was never exposed; reuse it
 		p.stats.Rejected++
+		p.log.Warn("job rejected", "reason", "queue full", "queue_depth", p.stats.Queued)
 		return "", ErrQueueFull
 	}
 	p.jobs[j.snap.ID] = j
 	p.stats.Submitted++
 	p.stats.Queued++
+	p.log.Info("job enqueued", "job_id", j.snap.ID, "queue_depth", p.stats.Queued)
 	return j.snap.ID, nil
 }
 
@@ -180,6 +217,7 @@ func (p *Pool) Complete(result any) (string, error) {
 	p.jobs[j.snap.ID] = j
 	p.stats.Submitted++
 	p.stats.Completed++
+	p.log.Info("job born done", "job_id", j.snap.ID)
 	return j.snap.ID, nil
 }
 
@@ -241,6 +279,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}
 	p.closed = true
 	close(p.queue) // workers drain the remaining queue, then exit
+	p.log.Info("pool draining", "queued", p.stats.Queued, "running", p.stats.Running)
 	p.mu.Unlock()
 
 	done := make(chan struct{})
@@ -250,10 +289,12 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		p.log.Info("pool drained")
 		return nil
 	case <-ctx.Done():
 		p.stopAll() // cancel every in-flight job
 		<-done
+		p.log.Warn("pool drain timed out; in-flight jobs canceled")
 		return ctx.Err()
 	}
 }
@@ -275,11 +316,16 @@ func (p *Pool) runOne(j *job) {
 	if j.timeout > 0 {
 		ctx, cancel = context.WithTimeout(p.baseCtx, j.timeout)
 	}
+	ctx = context.WithValue(ctx, idKey{}, j.snap.ID)
 	j.cancel = cancel
 	j.snap.State = StateRunning
 	j.snap.Started = time.Now()
 	p.stats.Queued--
 	p.stats.Running++
+	p.log.Info("job started",
+		"job_id", j.snap.ID,
+		"queue_wait", j.snap.Started.Sub(j.snap.Created),
+		"queue_depth", p.stats.Queued)
 	p.mu.Unlock()
 
 	result, err := j.fn(ctx)
@@ -320,6 +366,16 @@ func (p *Pool) finishLocked(j *job, state State, result any, err error) {
 	case StateCanceled:
 		p.stats.Canceled++
 	}
+	attrs := []any{
+		"job_id", j.snap.ID,
+		"state", string(state),
+		"duration", j.snap.Finished.Sub(j.snap.Created),
+		"queue_depth", p.stats.Queued,
+	}
+	if j.snap.Err != "" {
+		attrs = append(attrs, "error", j.snap.Err)
+	}
+	p.log.Info("job finished", attrs...)
 	close(j.doneCh)
 }
 

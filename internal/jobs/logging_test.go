@@ -1,0 +1,103 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer serializes writes: the pool's workers and the submitter
+// log concurrently through one handler.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Every lifecycle transition must emit one structured event carrying
+// the job ID — the contract docs/OBSERVABILITY.md documents.
+func TestLifecycleLogEvents(t *testing.T) {
+	var buf syncBuffer
+	p := New(1, 4, WithLogger(slog.New(slog.NewJSONHandler(&buf, nil))))
+
+	id, err := p.Submit(func(ctx context.Context) (any, error) { return 1, nil }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	badID, err := p.Submit(func(ctx context.Context) (any, error) {
+		return nil, fmt.Errorf("boom")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(context.Background(), badID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	type event struct {
+		Msg   string `json:"msg"`
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	seen := map[string]bool{} // "msg/job_id/state"
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		seen[ev.Msg+"/"+ev.JobID+"/"+ev.State] = true
+		if ev.Msg == "job finished" && ev.JobID == badID && ev.Error == "" {
+			t.Error("failed job's finish event carries no error attr")
+		}
+	}
+	for _, want := range []string{
+		"job enqueued/" + id + "/",
+		"job started/" + id + "/",
+		"job finished/" + id + "/done",
+		"job finished/" + badID + "/failed",
+		"pool draining//",
+		"pool drained//",
+	} {
+		if !seen[want] {
+			t.Errorf("missing lifecycle event %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+// A logger-less pool must not crash (nop logger path).
+func TestNoLoggerIsSilent(t *testing.T) {
+	p := New(1, 1)
+	id, err := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

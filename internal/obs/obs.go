@@ -1,0 +1,135 @@
+// Package obs is the cross-cutting observability layer: run-scoped
+// structured logging (log/slog), cheap phase-timing spans, and a
+// lock-free progress tracker the simulation loop can tick from its
+// cancellation checkpoints.
+//
+// Everything is stdlib-only and designed around one invariant: when
+// observability is disabled (no logger in the context, nil Progress),
+// the instrumented hot paths cost a nil check and nothing else — no
+// allocation, no time syscall, no atomic (docs/OBSERVABILITY.md).
+//
+// The package deliberately has no dependencies on the rest of the
+// module, so any layer — sim, jobs, server, the binaries — can import
+// it without cycles.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// ctxKey is the private context key carrying the run-scoped logger.
+type ctxKey struct{}
+
+// discard is a slog.Handler that drops everything and reports every
+// level disabled, so logging through it short-circuits before
+// argument processing. (slog.DiscardHandler exists from Go 1.24; this
+// keeps the module buildable at its declared go 1.23.)
+type discard struct{}
+
+// Enabled always reports false, so slog skips record assembly.
+func (discard) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle drops the record.
+func (discard) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (d discard) WithAttrs([]slog.Attr) slog.Handler { return d }
+
+// WithGroup returns the handler unchanged.
+func (d discard) WithGroup(string) slog.Handler { return d }
+
+// nop is the shared disabled logger returned when a context carries
+// none. One instance: From must not allocate on the disabled path.
+var nop = slog.New(discard{})
+
+// Nop returns a logger that discards everything. Its handler reports
+// all levels disabled, so even Debug calls through it cost only the
+// Enabled check.
+func Nop() *slog.Logger { return nop }
+
+// Log formats accepted by NewLogger (the -log-format flag values).
+const (
+	// FormatText selects human-readable logfmt-style output.
+	FormatText = "text"
+	// FormatJSON selects one JSON object per line.
+	FormatJSON = "json"
+)
+
+// NewLogger builds a logger writing to w in the given format ("text"
+// or "json"; empty means text). verbose lowers the level from Info to
+// Debug, which is where spans and per-checkpoint detail live.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case FormatText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+	}
+}
+
+// Into returns a context carrying l; From recovers it downstream.
+// A nil l leaves the context unchanged.
+func Into(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, l)
+}
+
+// From returns the logger carried by ctx, or the shared Nop logger
+// when there is none — callers never need a nil check.
+func From(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return nop
+}
+
+// With re-scopes the context's logger with extra attributes (run ID,
+// benchmark, job ID, ...) and stores it back, so every log line below
+// this point carries them. On a context with no logger it is a no-op
+// returning ctx unchanged — attribute formatting is never paid for
+// logs nobody will see.
+func With(ctx context.Context, args ...any) context.Context {
+	l, ok := ctx.Value(ctxKey{}).(*slog.Logger)
+	if !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, l.With(args...))
+}
+
+// Span starts a named phase and returns its closer. Call the closer
+// when the phase ends: it returns the elapsed wall-clock time and, if
+// the context's logger has Debug enabled, emits one "span" event with
+// the duration and any extra attributes.
+//
+//	done := obs.Span(ctx, "warmup")
+//	... phase work ...
+//	elapsed := done()
+//
+// On a context without a logger the cost is two monotonic clock reads
+// and zero allocations, so spans are safe around phases of any size.
+func Span(ctx context.Context, name string, args ...any) func() time.Duration {
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		if l := From(ctx); l.Enabled(ctx, slog.LevelDebug) {
+			attrs := make([]any, 0, len(args)+4)
+			attrs = append(attrs, "span", name, "duration", d)
+			attrs = append(attrs, args...)
+			l.Log(ctx, slog.LevelDebug, "span end", attrs...)
+		}
+		return d
+	}
+}

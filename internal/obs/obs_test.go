@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, FormatJSON, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json format did not emit JSON: %v\n%s", err, buf.String())
+	}
+	if obj["msg"] != "hello" || obj["k"] != "v" {
+		t.Errorf("bad json record: %v", obj)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, FormatText, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Errorf("bad text record: %s", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "yaml", false); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestVerboseEnablesDebug(t *testing.T) {
+	var buf bytes.Buffer
+	quiet, _ := NewLogger(&buf, FormatText, false)
+	if quiet.Enabled(context.Background(), slog.LevelDebug) {
+		t.Error("non-verbose logger has debug enabled")
+	}
+	loud, _ := NewLogger(&buf, FormatText, true)
+	if !loud.Enabled(context.Background(), slog.LevelDebug) {
+		t.Error("verbose logger has debug disabled")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != nop {
+		t.Error("empty context should yield the nop logger")
+	}
+	if Into(ctx, nil) != ctx {
+		t.Error("Into(nil) should return ctx unchanged")
+	}
+	if With(ctx, "k", "v") != ctx {
+		t.Error("With on a logger-less context should be a no-op")
+	}
+
+	var buf bytes.Buffer
+	l, _ := NewLogger(&buf, FormatJSON, false)
+	ctx = Into(ctx, l)
+	ctx = With(ctx, "run_id", "r-1")
+	From(ctx).Info("scoped")
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["run_id"] != "r-1" {
+		t.Errorf("scoped attr lost: %v", obj)
+	}
+}
+
+func TestSpanLogsAtDebug(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := NewLogger(&buf, FormatJSON, true)
+	ctx := Into(context.Background(), l)
+	done := Span(ctx, "warmup", "benchmark", "fft")
+	time.Sleep(time.Millisecond)
+	if d := done(); d <= 0 {
+		t.Errorf("span elapsed %v", d)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("no span event: %v\n%s", err, buf.String())
+	}
+	if obj["span"] != "warmup" || obj["benchmark"] != "fft" {
+		t.Errorf("span attrs wrong: %v", obj)
+	}
+
+	// Below Debug, the span still measures but emits nothing.
+	buf.Reset()
+	quiet, _ := NewLogger(&buf, FormatJSON, false)
+	done = Span(Into(context.Background(), quiet), "measure")
+	if d := done(); d < 0 {
+		t.Errorf("span elapsed %v", d)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("span logged below its level: %s", buf.String())
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	var p Progress
+	s := p.Snapshot()
+	if s.Done != 0 || s.Total != 0 || s.Fraction != 0 || s.Elapsed != 0 || s.Remaining != 0 {
+		t.Errorf("zero-value snapshot not zero: %+v", s)
+	}
+
+	p.Start(1000)
+	p.Add(250)
+	s = p.Snapshot()
+	if s.Done != 250 || s.Total != 1000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Fraction != 0.25 {
+		t.Errorf("fraction %v", s.Fraction)
+	}
+	if s.Elapsed <= 0 {
+		t.Errorf("elapsed %v", s.Elapsed)
+	}
+	if s.Remaining <= 0 {
+		t.Errorf("remaining %v", s.Remaining)
+	}
+
+	// Overshoot clamps the fraction.
+	p.Add(2000)
+	if f := p.Snapshot().Fraction; f != 1 {
+		t.Errorf("overshoot fraction %v", f)
+	}
+}
+
+func TestEnsureTotalDoesNotOverwrite(t *testing.T) {
+	var p Progress
+	p.Start(5000) // coordinator publishes the batch total first
+	p.EnsureTotal(100)
+	if got := p.Snapshot().Total; got != 5000 {
+		t.Errorf("EnsureTotal overwrote coordinator total: %d", got)
+	}
+
+	var q Progress
+	q.EnsureTotal(100) // lone worker owns the total
+	if got := q.Snapshot().Total; got != 100 {
+		t.Errorf("EnsureTotal on fresh progress: %d", got)
+	}
+}
+
+// The producer-side API must be allocation-free: the simulator ticks
+// it from its hot loop.
+func TestProgressProducerZeroAlloc(t *testing.T) {
+	var p Progress
+	p.Start(1 << 30)
+	if n := testing.AllocsPerRun(1000, func() { p.Add(1 << 16) }); n != 0 {
+		t.Errorf("Progress.Add allocates %v per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { p.EnsureTotal(1 << 20) }); n != 0 {
+		t.Errorf("Progress.EnsureTotal allocates %v per call", n)
+	}
+}
+
+// Spans on a logger-less context must not allocate either — sim wraps
+// every phase in one unconditionally.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() { Span(ctx, "phase")() }); n > 1 {
+		// One alloc for the closure itself is tolerated; attribute
+		// assembly and logging must not add more.
+		t.Errorf("disabled Span allocates %v per call", n)
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/obs"
+)
+
+// statusRecorder captures the status code and response size a handler
+// produced, for the access log and the per-status request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+// WriteHeader records the status before delegating.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts response bytes (and latches the implicit 200).
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// httpStats counts served requests by status code for /metrics.
+type httpStats struct {
+	mu     sync.Mutex
+	byCode map[int]uint64
+}
+
+func (h *httpStats) record(code int) {
+	h.mu.Lock()
+	if h.byCode == nil {
+		h.byCode = make(map[int]uint64)
+	}
+	h.byCode[code]++
+	h.mu.Unlock()
+}
+
+// snapshot returns a copy of the per-code counters.
+func (h *httpStats) snapshot() map[int]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]uint64, len(h.byCode))
+	for c, n := range h.byCode {
+		out[c] = n
+	}
+	return out
+}
+
+// logMiddleware wraps the API mux: every request gets a request-scoped
+// logger in its context (so downstream handlers inherit the method and
+// path attrs), one access-log line on completion, and a per-status
+// counter bump. /metrics and /healthz scrapes are counted but logged
+// only at Debug — a 15-second Prometheus scrape interval would
+// otherwise dominate the log.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		l := s.log.With("method", r.Method, "path", r.URL.Path)
+		next.ServeHTTP(rec, r.WithContext(obs.Into(r.Context(), l)))
+		s.http.record(rec.status)
+		level := l.Info
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			level = l.Debug
+		}
+		level("http request",
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr)
+	})
+}
+
+// metricsHTTPLines appends the per-status request counters in
+// Prometheus text format, codes in ascending order for stable output.
+func (h *httpStats) metricsLines() []string {
+	snap := h.snapshot()
+	codes := make([]int, 0, len(snap))
+	for c := range snap {
+		codes = append(codes, c)
+	}
+	// Insertion sort; the code set is tiny.
+	for i := 1; i < len(codes); i++ {
+		for j := i; j > 0 && codes[j] < codes[j-1]; j-- {
+			codes[j], codes[j-1] = codes[j-1], codes[j]
+		}
+	}
+	lines := make([]string, 0, len(codes)+1)
+	lines = append(lines, "# TYPE mapsd_http_requests_total counter")
+	for _, c := range codes {
+		lines = append(lines, "mapsd_http_requests_total{code=\""+strconv.Itoa(c)+"\"} "+strconv.FormatUint(snap[c], 10))
+	}
+	return lines
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/obs"
+)
+
+// lockedBuf serializes concurrent handler writes to one buffer.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Split(strings.TrimSpace(b.buf.String()), "\n")
+}
+
+func getProgress(t *testing.T, ts *httptest.Server, id string) (JobProgress, int) {
+	t.Helper()
+	var p JobProgress
+	resp := getJSON(t, ts, "/v1/jobs/"+id+"/progress", &p)
+	return p, resp.StatusCode
+}
+
+// Mid-run, the progress endpoint must report instruction counts that
+// only ever grow, and a total matching warmup+instructions.
+func TestProgressEndpointMidRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Big enough to still be running across several polls.
+	st, resp := postJob(t, ts, `{"type":"run","config":{"benchmark":"libquantum","instructions":20000000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	const wantTotal = 20000000 + 2000000 // instructions + default 10% warmup
+	var last uint64
+	var grew int
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && grew < 3 {
+		p, code := getProgress(t, ts, st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("progress status %d", code)
+		}
+		if p.InstructionsDone < last {
+			t.Fatalf("progress regressed: %d after %d", p.InstructionsDone, last)
+		}
+		if p.InstructionsDone > last && last > 0 {
+			grew++
+		}
+		if p.InstructionsTotal != 0 && p.InstructionsTotal != wantTotal {
+			t.Fatalf("total %d, want %d", p.InstructionsTotal, wantTotal)
+		}
+		if p.State == jobs.StateDone {
+			break
+		}
+		last = p.InstructionsDone
+		time.Sleep(2 * time.Millisecond)
+	}
+	if grew == 0 {
+		t.Fatal("never observed progress growing mid-run")
+	}
+
+	// Cancel; progress must survive and stay monotone.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	waitDone(t, ts, st.ID)
+	if p, _ := getProgress(t, ts, st.ID); p.InstructionsDone < last {
+		t.Errorf("post-cancel progress regressed: %d < %d", p.InstructionsDone, last)
+	}
+}
+
+func TestProgressEndpointDoneAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, _ := postJob(t, ts, smallRun)
+	waitDone(t, ts, st.ID)
+	p, code := getProgress(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("progress status %d", code)
+	}
+	if p.Fraction != 1 || p.State != jobs.StateDone {
+		t.Errorf("finished job progress: %+v", p)
+	}
+	if p.InstructionsDone < 50000 {
+		t.Errorf("done instructions %d, want ≥ 50000", p.InstructionsDone)
+	}
+
+	// Resubmit: cache hit, born done, fraction 1 without ever ticking.
+	st2, resp := postJob(t, ts, smallRun)
+	if resp.StatusCode != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("expected cache hit, got %d %+v", resp.StatusCode, st2)
+	}
+	p2, _ := getProgress(t, ts, st2.ID)
+	if !p2.CacheHit || p2.Fraction != 1 || p2.InstructionsDone != 0 {
+		t.Errorf("cache-hit progress: %+v", p2)
+	}
+
+	if _, code := getProgress(t, ts, "j-99999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job progress status %d, want 404", code)
+	}
+}
+
+// The middleware must log one event per request with method, path,
+// status, and duration attrs, and scrapes only at debug level.
+func TestLogMiddlewareAttrs(t *testing.T) {
+	var buf lockedBuf
+	logger, err := obs.NewLogger(&buf, obs.FormatJSON, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	getJSON(t, ts, "/v1/benchmarks", nil)
+	getJSON(t, ts, "/v1/jobs/j-00000042", nil) // 404
+	getJSON(t, ts, "/healthz", nil)            // logged only at debug
+
+	type line struct {
+		Msg      string  `json:"msg"`
+		Method   string  `json:"method"`
+		Path     string  `json:"path"`
+		Status   int     `json:"status"`
+		Duration float64 `json:"duration"`
+	}
+	var got []line
+	for _, raw := range buf.Lines() {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if l.Msg == "http request" {
+			got = append(got, l)
+		}
+	}
+	want := map[string]int{"/v1/benchmarks": 200, "/v1/jobs/j-00000042": 404}
+	for _, l := range got {
+		if l.Path == "/healthz" {
+			t.Errorf("healthz logged at info level: %+v", l)
+		}
+		if status, ok := want[l.Path]; ok {
+			if l.Method != "GET" || l.Status != status || l.Duration <= 0 {
+				t.Errorf("bad access log attrs: %+v", l)
+			}
+			delete(want, l.Path)
+		}
+	}
+	for path := range want {
+		t.Errorf("no access log line for %s", path)
+	}
+}
+
+// A finished run must surface the new observability metric families.
+func TestMetricsPhaseAndHTTPSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, _ := postJob(t, ts, smallRun)
+	waitDone(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`mapsd_sim_phase_seconds_total{phase="setup"}`,
+		`mapsd_sim_phase_seconds_total{phase="warmup"}`,
+		`mapsd_sim_phase_seconds_total{phase="measure"}`,
+		"mapsd_sim_phase_runs_total 1",
+		"mapsd_inflight_instructions_done 0",
+		`mapsd_http_requests_total{code="200"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Phase seconds must be non-zero once a run completed.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `mapsd_sim_phase_seconds_total{phase="measure"} `) {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("measure phase seconds stayed zero: %s", line)
+			}
+		}
+	}
+}

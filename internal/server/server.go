@@ -2,14 +2,16 @@
 // (internal/jobs) and the content-addressed result cache
 // (internal/results).
 //
-//	POST   /v1/jobs            submit a run or suite job
-//	GET    /v1/jobs/{id}        poll status
-//	GET    /v1/jobs/{id}/result fetch the finished result
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/benchmarks       list workloads
-//	GET    /v1/experiments      list experiment harnesses
-//	GET    /metrics             Prometheus-style counters, no deps
-//	GET    /healthz             liveness
+//	POST   /v1/jobs              submit a run or suite job
+//	GET    /v1/jobs/{id}          poll status
+//	GET    /v1/jobs/{id}/result   fetch the finished result
+//	GET    /v1/jobs/{id}/progress instructions retired mid-run
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/benchmarks         list workloads
+//	GET    /v1/experiments        list experiment harnesses
+//	GET    /metrics               Prometheus-style counters, no deps
+//	GET    /healthz               liveness
+//	GET    /debug/pprof/          profiling (only with Config.EnablePprof)
 //
 // Submission consults the result cache first: a request whose
 // canonical config hash is already cached gets a job that is born
@@ -20,7 +22,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +32,7 @@ import (
 
 	"github.com/maps-sim/mapsim/internal/experiments"
 	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/workload"
@@ -42,6 +47,12 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
+	// Logger receives request logs, job lifecycle events, and
+	// simulation spans; nil means silent.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// API mux. Off by default: the daemon may face untrusted clients.
+	EnablePprof bool
 }
 
 func (c *Config) fill() {
@@ -61,13 +72,19 @@ type jobMeta struct {
 	typ      string
 	key      results.Key
 	cacheHit bool
+	// progress is ticked by the running simulation; nil for jobs born
+	// done from the cache.
+	progress *obs.Progress
 }
 
 // Server wires the HTTP API to the pool and cache.
 type Server struct {
-	pool  *jobs.Pool
-	cache *results.Cache
-	mux   *http.ServeMux
+	pool    *jobs.Pool
+	cache   *results.Cache
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	http    httpStats
 
 	mu   sync.Mutex
 	meta map[string]jobMeta
@@ -76,21 +93,34 @@ type Server struct {
 	instrTotal atomic.Uint64
 	busyNanos  atomic.Int64
 	started    time.Time
+
+	// Wall-clock per simulation phase across finished runs, for the
+	// mapsd_sim_phase_seconds_total metric family.
+	phaseMu   sync.Mutex
+	phaseSecs map[string]float64
+	phaseRuns uint64
 }
 
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg.fill()
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
 	s := &Server{
-		pool:    jobs.New(cfg.Workers, cfg.QueueDepth),
-		cache:   results.New(cfg.CacheEntries),
-		mux:     http.NewServeMux(),
-		meta:    make(map[string]jobMeta),
-		started: time.Now(),
+		pool:      jobs.New(cfg.Workers, cfg.QueueDepth, jobs.WithLogger(log)),
+		cache:     results.New(cfg.CacheEntries),
+		mux:       http.NewServeMux(),
+		log:       log,
+		meta:      make(map[string]jobMeta),
+		started:   time.Now(),
+		phaseSecs: make(map[string]float64),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -98,11 +128,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.logMiddleware(s.mux)
 	return s
 }
 
-// Handler returns the HTTP entrypoint.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP entrypoint (the API wrapped in the
+// request-logging middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shutdown drains the pool: queued and running jobs complete unless
 // ctx expires first, in which case they are cancelled.
@@ -148,6 +187,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	var key results.Key
 	var fn jobs.Fn
+	prog := new(obs.Progress)
 	switch req.Type {
 	case TypeRun:
 		if len(req.Benchmarks) > 0 {
@@ -163,7 +203,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad config: %v", err)
 			return
 		}
-		fn = s.runFn(cfg, key)
+		fn = s.runFn(cfg, key, prog)
 	case TypeSuite:
 		benchmarks := req.Benchmarks
 		if len(benchmarks) == 0 {
@@ -180,7 +220,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad config: %v", err)
 			return
 		}
-		fn = s.suiteFn(cfg, benchmarks, req.Parallelism, key)
+		fn = s.suiteFn(cfg, benchmarks, req.Parallelism, key, prog)
 	default:
 		writeError(w, http.StatusBadRequest, "unknown job type %q (want run or suite)", req.Type)
 		return
@@ -210,28 +250,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.noteJob(id, jobMeta{typ: req.Type, key: key})
+	s.noteJob(id, jobMeta{typ: req.Type, key: key, progress: prog})
 	snap, _ := s.pool.Get(id)
 	writeJSON(w, http.StatusAccepted, s.status(snap))
 }
 
+// jobCtx gives the work function a run-scoped logger: job ID doubles
+// as the run ID, and every span and lifecycle event below carries it.
+func (s *Server) jobCtx(ctx context.Context, typ string, attrs ...any) context.Context {
+	id := jobs.IDFromContext(ctx)
+	l := s.log.With(append([]any{"job_id", id, "run_id", id, "type", typ}, attrs...)...)
+	return obs.Into(ctx, l)
+}
+
 // runFn wraps one simulation as a pool job: run under ctx, account
-// throughput, populate the cache.
-func (s *Server) runFn(cfg sim.Config, key results.Key) jobs.Fn {
+// throughput and phase timings, populate the cache.
+func (s *Server) runFn(cfg sim.Config, key results.Key, prog *obs.Progress) jobs.Fn {
+	cfg.Progress = prog
 	return func(ctx context.Context) (any, error) {
+		ctx = s.jobCtx(ctx, TypeRun, "benchmark", cfg.Benchmark)
 		t0 := time.Now()
 		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
 		s.account(res.Instructions, time.Since(t0))
+		s.recordTiming(res.Timing)
 		s.cache.Put(key, res)
 		return res, nil
 	}
 }
 
-func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, key results.Key) jobs.Fn {
+func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, key results.Key, prog *obs.Progress) jobs.Fn {
+	cfg.Progress = prog
 	return func(ctx context.Context) (any, error) {
+		ctx = s.jobCtx(ctx, TypeSuite, "benchmarks", len(benchmarks))
 		t0 := time.Now()
 		res, err := sim.RunSuiteContext(ctx, cfg, benchmarks, parallelism)
 		if err != nil {
@@ -240,11 +293,23 @@ func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, k
 		var instrs uint64
 		for _, r := range res.PerBench {
 			instrs += r.Instructions
+			s.recordTiming(r.Timing)
 		}
 		s.account(instrs, time.Since(t0))
 		s.cache.Put(key, res)
 		return res, nil
 	}
+}
+
+// recordTiming folds one run's phase profile into the cumulative
+// per-phase counters served at /metrics.
+func (s *Server) recordTiming(t sim.PhaseTiming) {
+	s.phaseMu.Lock()
+	s.phaseSecs["setup"] += t.Setup.Seconds()
+	s.phaseSecs["warmup"] += t.Warmup.Seconds()
+	s.phaseSecs["measure"] += t.Measure.Seconds()
+	s.phaseRuns++
+	s.phaseMu.Unlock()
 }
 
 func (s *Server) account(instructions uint64, busy time.Duration) {
@@ -318,6 +383,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.pool.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	m := s.jobMeta(id)
+	out := JobProgress{ID: id, State: snap.State, CacheHit: m.cacheHit}
+	if m.progress != nil {
+		ps := m.progress.Snapshot()
+		out.InstructionsDone = ps.Done
+		out.InstructionsTotal = ps.Total
+		out.Fraction = ps.Fraction
+		out.ElapsedSec = ps.Elapsed.Seconds()
+		out.RemainingSec = ps.Remaining.Seconds()
+	}
+	if snap.State == jobs.StateDone {
+		// A finished job is 100% regardless of tick granularity, and a
+		// cache hit never ticked at all.
+		out.Fraction = 1
+		out.RemainingSec = 0
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.pool.Cancel(id); err != nil {
@@ -370,4 +461,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_total counter\nmapsd_simulated_instructions_total %d\n", instr)
 	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_per_second gauge\nmapsd_simulated_instructions_per_second %g\n", ips)
 	fmt.Fprintf(w, "# TYPE mapsd_uptime_seconds gauge\nmapsd_uptime_seconds %g\n", time.Since(s.started).Seconds())
+
+	s.phaseMu.Lock()
+	setup, warmup, measure := s.phaseSecs["setup"], s.phaseSecs["warmup"], s.phaseSecs["measure"]
+	runs := s.phaseRuns
+	s.phaseMu.Unlock()
+	fmt.Fprintf(w, "# HELP mapsd_sim_phase_seconds_total Wall-clock per simulation phase across finished runs.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_sim_phase_seconds_total counter\n")
+	fmt.Fprintf(w, "mapsd_sim_phase_seconds_total{phase=\"setup\"} %g\n", setup)
+	fmt.Fprintf(w, "mapsd_sim_phase_seconds_total{phase=\"warmup\"} %g\n", warmup)
+	fmt.Fprintf(w, "mapsd_sim_phase_seconds_total{phase=\"measure\"} %g\n", measure)
+	fmt.Fprintf(w, "# TYPE mapsd_sim_phase_runs_total counter\nmapsd_sim_phase_runs_total %d\n", runs)
+
+	done, total := s.inflightProgress()
+	fmt.Fprintf(w, "# HELP mapsd_inflight_instructions_done Instructions retired by jobs not yet finished.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_inflight_instructions_done gauge\nmapsd_inflight_instructions_done %d\n", done)
+	fmt.Fprintf(w, "# TYPE mapsd_inflight_instructions_total gauge\nmapsd_inflight_instructions_total %d\n", total)
+
+	for _, line := range s.http.metricsLines() {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// inflightProgress sums progress over every job that is still queued
+// or running, for the progress gauges.
+func (s *Server) inflightProgress() (done, total uint64) {
+	s.mu.Lock()
+	type idProg struct {
+		id   string
+		prog *obs.Progress
+	}
+	active := make([]idProg, 0, len(s.meta))
+	for id, m := range s.meta {
+		if m.progress != nil {
+			active = append(active, idProg{id, m.progress})
+		}
+	}
+	s.mu.Unlock()
+	for _, a := range active {
+		snap, err := s.pool.Get(a.id)
+		if err != nil || snap.State.Terminal() {
+			continue
+		}
+		ps := a.prog.Snapshot()
+		done += ps.Done
+		total += ps.Total
+	}
+	return done, total
 }

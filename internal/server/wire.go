@@ -154,6 +154,31 @@ type JobStatus struct {
 	Error    string     `json:"error,omitempty"`
 }
 
+// JobProgress is the body of GET /v1/jobs/{id}/progress: how far a
+// running job's simulation has come, in retired instructions (warmup
+// included). Counts are monotonically non-decreasing across polls of
+// the same job. A cache-hit job never simulated, so its counts are
+// zero while Fraction reports 1.
+type JobProgress struct {
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	// InstructionsDone counts instructions retired so far; for suite
+	// jobs it sums across the whole fan-out.
+	InstructionsDone uint64 `json:"instructions_done"`
+	// InstructionsTotal is the expected total (0 until the run
+	// publishes it).
+	InstructionsTotal uint64 `json:"instructions_total"`
+	// Fraction is done/total in [0,1]; forced to 1 once the job is
+	// done.
+	Fraction float64 `json:"fraction"`
+	// ElapsedSec is time since the first instruction retired.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// RemainingSec linearly extrapolates time left; 0 when unknown.
+	RemainingSec float64 `json:"remaining_sec"`
+	// CacheHit marks jobs answered from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
 // JobResult is the body of GET /v1/jobs/{id}/result. Exactly one of
 // Run/Suite is set, matching Type.
 type JobResult struct {

@@ -29,13 +29,15 @@ func TestSuiteResultRenderGolden(t *testing.T) {
 		GeomeanLLCMPKI:  19.2465,
 		GeomeanMetaMPKI: 8.4142,
 		GeomeanIPC:      0.70271,
+		// geomean(1234, 5000) = sqrt(6,170,000) ≈ 2483.95
+		GeomeanMemAccesses: 2483.9485,
 	}
 	got := s.Render()
 	want := "benchmark  LLC MPKI  meta MPKI  IPC    mem accesses\n" +
 		"---------  --------  ---------  -----  ------------\n" +
 		"fft        12.35     4.57       0.988  1234        \n" +
 		"canneal    30.00     15.50      0.500  5000        \n" +
-		"geomean    19.25     8.41       0.703              \n"
+		"geomean    19.25     8.41       0.703  2484        \n"
 	if got != want {
 		t.Errorf("Render drifted.\ngot:\n%s\nwant:\n%s", got, want)
 	}
@@ -62,7 +64,8 @@ func TestSuiteResultJSONKeys(t *testing.T) {
 	text := string(buf)
 	for _, key := range []string{
 		`"per_bench"`, `"order"`, `"geomean_llc_mpki"`, `"geomean_meta_mpki"`,
-		`"geomean_ipc"`, `"geomean_ed2"`, `"benchmark"`, `"llc_mpki"`,
+		`"geomean_ipc"`, `"geomean_ed2"`, `"geomean_mem_accesses"`, `"wall_ns"`,
+		`"benchmark"`, `"llc_mpki"`, `"timing"`, `"setup_ns"`,
 		`"counter"`, // Kind map keys serialize as names, not numbers
 	} {
 		if !strings.Contains(text, key) {

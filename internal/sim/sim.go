@@ -13,6 +13,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/maps-sim/mapsim/internal/cache"
 	"github.com/maps-sim/mapsim/internal/dram"
@@ -20,6 +21,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/hierarchy"
 	"github.com/maps-sim/mapsim/internal/memlayout"
 	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/secmem/engine"
 	"github.com/maps-sim/mapsim/internal/trace"
 	"github.com/maps-sim/mapsim/internal/workload"
@@ -68,6 +70,12 @@ type Config struct {
 	// Tap observes every metadata access the engine makes, warmup
 	// included, for reuse analysis and trace recording.
 	Tap func(trace.Access)
+
+	// Progress, when non-nil, is ticked with retired instructions from
+	// the run's cancellation checkpoints (every 64Ki instructions), so
+	// an observer can watch a long run advance. Leaving it nil — the
+	// default — costs the hot loop a nil check and nothing else.
+	Progress *obs.Progress
 }
 
 func (c *Config) fill() error {
@@ -90,14 +98,16 @@ func (c *Config) fill() error {
 // so two configs that would simulate identically compare (and hash)
 // equal. It is the canonicalization step behind the result cache's
 // content addressing. Configs carrying caller-supplied state
-// (Workload, Tap, Meta.Policy, Meta.Partition) have no canonical
-// form and are rejected.
+// (Workload, Tap, Progress, Meta.Policy, Meta.Partition) have no
+// canonical form and are rejected.
 func (c Config) Canonical() (Config, error) {
 	switch {
 	case c.Workload != nil:
 		return c, fmt.Errorf("sim: config with a caller-supplied Workload is not canonicalizable")
 	case c.Tap != nil:
 		return c, fmt.Errorf("sim: config with a Tap is not canonicalizable")
+	case c.Progress != nil:
+		return c, fmt.Errorf("sim: config with a Progress is not canonicalizable")
 	case c.Meta != nil && (c.Meta.Policy != nil || c.Meta.Partition != nil):
 		return c, fmt.Errorf("sim: config with a stateful Meta.Policy or Meta.Partition is not canonicalizable")
 	case c.Benchmark == "":
@@ -155,6 +165,18 @@ type KindResult struct {
 	MPKI     float64 `json:"mpki"`
 }
 
+// PhaseTiming records where a run's wall-clock time went, split by
+// simulation phase. Durations serialize as nanoseconds. The phase
+// names match the span taxonomy in docs/OBSERVABILITY.md: setup
+// (building the hierarchy, DRAM model, and secure-memory engine),
+// warmup (the unmeasured prefix), and measure (the measured window).
+type PhaseTiming struct {
+	Setup   time.Duration `json:"setup_ns"`
+	Warmup  time.Duration `json:"warmup_ns"`
+	Measure time.Duration `json:"measure_ns"`
+	Total   time.Duration `json:"total_ns"`
+}
+
 // Result is the output of one simulation.
 type Result struct {
 	Benchmark    string  `json:"benchmark"`
@@ -185,6 +207,10 @@ type Result struct {
 	Energy   energy.Account `json:"energy"`
 	EnergyPJ float64        `json:"energy_pj"`
 	ED2      float64        `json:"ed2"`
+
+	// Timing is the run's own wall-clock profile (host time, not
+	// simulated cycles).
+	Timing PhaseTiming `json:"timing"`
 }
 
 // cancelCheckInterval is how many instructions the simulation loop
@@ -201,6 +227,14 @@ func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), 
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	endRun := obs.Span(ctx, "run", "benchmark", cfg.Benchmark)
+	endSetup := obs.Span(ctx, "setup", "benchmark", cfg.Benchmark)
+	prog := cfg.Progress
+	if prog != nil {
+		// EnsureTotal, not Start: in a suite fan-out the coordinator
+		// has already published the whole suite's total.
+		prog.EnsureTotal(cfg.Warmup + cfg.Instructions)
 	}
 	gen := cfg.Workload
 	gen.Reset(cfg.Seed)
@@ -253,6 +287,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			instrs += uint64(acc.Gap)
 			sinceCheck += uint64(acc.Gap)
 			if sinceCheck >= cancelCheckInterval {
+				if prog != nil {
+					prog.Add(sinceCheck)
+				}
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
 					return instrs, err
@@ -284,10 +321,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return instrs, nil
 	}
 
+	setupTime := endSetup()
+
 	// Warmup: run, then discard statistics (state persists).
+	endWarmup := obs.Span(ctx, "warmup", "benchmark", cfg.Benchmark)
 	if _, err := step(cfg.Warmup); err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", cfg.Benchmark, err)
 	}
+	warmupTime := endWarmup()
 	hier.ResetStats()
 	mem.ResetStats()
 	if eng != nil {
@@ -295,11 +336,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	cyclesStart := cycles
 
+	endMeasure := obs.Span(ctx, "measure", "benchmark", cfg.Benchmark)
 	measured, err := step(cfg.Instructions)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", cfg.Benchmark, err)
 	}
+	measureTime := endMeasure()
 	cycles -= cyclesStart
+	if prog != nil && sinceCheck > 0 {
+		// Flush the sub-checkpoint remainder so the run finishes at
+		// exactly Warmup+Instructions done.
+		prog.Add(sinceCheck)
+		sinceCheck = 0
+	}
 
 	res := &Result{
 		Benchmark:    cfg.Benchmark,
@@ -374,5 +423,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.Energy.AddDRAMPJ(res.DRAM.EnergyPJ)
 	res.EnergyPJ = res.Energy.TotalPJ()
 	res.ED2 = energy.ED2(res.EnergyPJ, res.Cycles)
+
+	res.Timing = PhaseTiming{
+		Setup:   setupTime,
+		Warmup:  warmupTime,
+		Measure: measureTime,
+		Total:   endRun(),
+	}
+	obs.From(ctx).Debug("run done",
+		"benchmark", cfg.Benchmark,
+		"instructions", measured,
+		"ipc", res.IPC,
+		"wall", res.Timing.Total)
 	return res, nil
 }

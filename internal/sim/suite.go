@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/stats"
 	"github.com/maps-sim/mapsim/internal/workload"
 )
@@ -22,6 +24,13 @@ type SuiteResult struct {
 	GeomeanMetaMPKI float64 `json:"geomean_meta_mpki"`
 	GeomeanIPC      float64 `json:"geomean_ipc"`
 	GeomeanED2      float64 `json:"geomean_ed2"`
+	// GeomeanMemAccesses is the geometric mean of per-benchmark DRAM
+	// accesses (reads + writes).
+	GeomeanMemAccesses float64 `json:"geomean_mem_accesses"`
+
+	// Wall is the fan-out's host wall-clock time (not simulated
+	// cycles); it serializes as nanoseconds.
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // RunSuite runs the same configuration (everything except Benchmark /
@@ -42,6 +51,16 @@ func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, para
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
+	}
+	endSuite := obs.Span(ctx, "suite", "benchmarks", len(benchmarks), "parallelism", parallelism)
+	if base.Progress != nil {
+		// Publish the whole suite's instruction total before any run
+		// starts, so observers see a stable denominator. Each run's
+		// own EnsureTotal then keeps its hands off it.
+		per := base
+		per.Benchmark = "-" // a suite base legitimately omits Benchmark
+		per.fillDefaults()
+		base.Progress.Start(uint64(len(benchmarks)) * (per.Warmup + per.Instructions))
 	}
 	res := &SuiteResult{
 		PerBench: make(map[string]*Result, len(benchmarks)),
@@ -103,18 +122,21 @@ func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, para
 		return nil, err
 	}
 
-	var llc, meta, ipc, ed2 []float64
+	var llc, meta, ipc, ed2, mem []float64
 	for _, b := range benchmarks {
 		r := res.PerBench[b]
 		llc = append(llc, r.LLCMPKI)
 		meta = append(meta, r.MetaMPKI)
 		ipc = append(ipc, r.IPC)
 		ed2 = append(ed2, r.ED2)
+		mem = append(mem, float64(r.DRAM.Accesses()))
 	}
 	res.GeomeanLLCMPKI = stats.Geomean(llc)
 	res.GeomeanMetaMPKI = stats.Geomean(meta)
 	res.GeomeanIPC = stats.Geomean(ipc)
 	res.GeomeanED2 = stats.Geomean(ed2)
+	res.GeomeanMemAccesses = stats.Geomean(mem)
+	res.Wall = endSuite()
 	return res, nil
 }
 
@@ -134,6 +156,6 @@ func (s *SuiteResult) Render() string {
 		fmt.Sprintf("%.2f", s.GeomeanLLCMPKI),
 		fmt.Sprintf("%.2f", s.GeomeanMetaMPKI),
 		fmt.Sprintf("%.3f", s.GeomeanIPC),
-		"")
+		fmt.Sprintf("%.0f", s.GeomeanMemAccesses))
 	return t.String()
 }

@@ -138,18 +138,33 @@ type SyntheticConfig = workload.SyntheticConfig
 // footprint, and write-mix knobs.
 func NewSynthetic(cfg SyntheticConfig) (Generator, error) { return workload.NewSynthetic(cfg) }
 
-// Replacement policies.
-func NewLRU() ReplacementPolicy   { return policy.NewLRU() }
-func NewPLRU() ReplacementPolicy  { return policy.NewPLRU() }
-func NewFIFO() ReplacementPolicy  { return policy.NewFIFO() }
+// NewLRU returns true least-recently-used replacement.
+func NewLRU() ReplacementPolicy { return policy.NewLRU() }
+
+// NewPLRU returns tree pseudo-LRU replacement — the paper's baseline
+// metadata-cache policy.
+func NewPLRU() ReplacementPolicy { return policy.NewPLRU() }
+
+// NewFIFO returns first-in-first-out replacement.
+func NewFIFO() ReplacementPolicy { return policy.NewFIFO() }
+
+// NewSRRIP returns static re-reference interval prediction.
 func NewSRRIP() ReplacementPolicy { return policy.NewSRRIP() }
+
+// NewBRRIP returns bimodal re-reference interval prediction.
 func NewBRRIP() ReplacementPolicy { return policy.NewBRRIP() }
-func NewEVA() ReplacementPolicy   { return eva.New(eva.Config{}) }
+
+// NewEVA returns the economic-value-added policy the paper evaluates
+// in Figure 6.
+func NewEVA() ReplacementPolicy { return eva.New(eva.Config{}) }
 
 // NewPerTypeEVA returns EVA with one age histogram per metadata
 // class — the fix implied by the paper's diagnosis that bimodal
 // metadata reuse defeats EVA's single histogram.
 func NewPerTypeEVA() ReplacementPolicy { return eva.NewPerType(eva.Config{}) }
+
+// NewMIN returns Belady's offline-optimal replacement, driven by a
+// recorded trace of the run it will replay (Figure 6's MIN bound).
 func NewMIN(tr *Trace) ReplacementPolicy {
 	return opt.NewMIN(tr)
 }
@@ -162,9 +177,17 @@ func NewTypePredictor() ReplacementPolicy { return typepred.New() }
 // NewRandomPolicy returns seeded random replacement.
 func NewRandomPolicy(seed uint64) ReplacementPolicy { return policy.NewRandom(seed) }
 
-// Partition schemes.
-func NoPartition() PartitionScheme              { return partition.NewNone() }
-func StaticPartition(ways int) PartitionScheme  { return partition.NewStatic(ways) }
+// NoPartition returns the unpartitioned metadata cache (Figure 7's
+// "none" baseline).
+func NoPartition() PartitionScheme { return partition.NewNone() }
+
+// StaticPartition reserves a fixed number of ways for counters and
+// leaves the rest to the other metadata classes.
+func StaticPartition(ways int) PartitionScheme { return partition.NewStatic(ways) }
+
+// DynamicPartition returns a set-dueling partitioner that picks
+// between the two candidate way splits at runtime (Figure 7's
+// "dynamic" scheme).
 func DynamicPartition(a, b int) PartitionScheme { return partition.NewDynamic(a, b) }
 
 // NewReuseAnalyzer creates a reuse-distance analyzer; wire its Record
