@@ -9,9 +9,16 @@ GO ?= go
 # result cache) — the ones -race can actually catch regressions in.
 RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim
 
-.PHONY: check build fmt lint test vet race run-mapsd
+# Hot-loop benchmarks guarded by the perf-regression gate
+# (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
+BENCHES := BenchmarkAccessKernel|BenchmarkRunInsecure|BenchmarkRunSecure
+BENCH_PKG := ./internal/sim
+# Allowed fractional ns/op growth before benchcheck fails the build.
+BENCH_TOLERANCE ?= 0.10
 
-check: build fmt vet lint test race
+.PHONY: check build fmt lint test vet race bench benchcheck run-mapsd
+
+check: build fmt vet lint test race benchcheck
 
 build:
 	$(GO) build ./...
@@ -34,6 +41,18 @@ vet:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Full benchmark pass: measure the access kernel and end-to-end runs,
+# then record the numbers into BENCH_kernel.json's current section.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count 5 $(BENCH_PKG) | tee /tmp/bench.out
+	$(GO) run ./cmd/benchcheck -update -out BENCH_kernel.json < /tmp/bench.out
+
+# Short-mode regression gate for `make check`: quick repeated runs,
+# min-of-N comparison against the committed baseline.
+benchcheck:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 0.3s -count 5 $(BENCH_PKG) \
+		| $(GO) run ./cmd/benchcheck -baseline BENCH_kernel.json -tolerance $(BENCH_TOLERANCE)
 
 run-mapsd:
 	$(GO) run ./cmd/mapsd

@@ -81,9 +81,6 @@ func (p *Policy) Reset(sets, ways int) {
 	}
 }
 
-// OnAccess implements cache.Policy.
-func (p *Policy) OnAccess(addr uint64, write bool) {}
-
 func (p *Policy) age(set, way int) int {
 	a := int((p.setClock[set] - p.born[set*p.ways+way]) / uint64(p.cfg.Granularity))
 	if a >= p.cfg.AgeBuckets {

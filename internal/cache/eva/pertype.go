@@ -76,9 +76,6 @@ func (p *PerType) age(set, way int) int {
 	return a
 }
 
-// OnAccess implements cache.Policy.
-func (p *PerType) OnAccess(addr uint64, write bool) {}
-
 // OnHit implements cache.Policy.
 func (p *PerType) OnHit(set, way int, line *cache.Line, write bool) {
 	p.setClock[set]++

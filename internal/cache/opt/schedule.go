@@ -94,7 +94,11 @@ func csoptSetSchedule(sub []trace.Access, ways, maxStates int) ([]uint64, CSOPTR
 		next := make(map[string]costMiss, len(states))
 		steps := make(map[string]step, len(states))
 		relax := func(key string, v costMiss, st step) {
-			if old, ok := next[key]; !ok || better(v, old) {
+			// Ties break toward the lexicographically smallest parent
+			// so the reconstructed schedule is deterministic: map
+			// iteration order must not pick among equal-cost paths.
+			if old, ok := next[key]; !ok || better(v, old) ||
+				(!better(old, v) && st.parent < steps[key].parent) {
 				next[key] = v
 				steps[key] = st
 			}
@@ -133,10 +137,10 @@ func csoptSetSchedule(sub []trace.Access, ways, maxStates int) ([]uint64, CSOPTR
 		}
 	}
 
-	bestKey, best := "", costMiss{cost: ^uint64(0)}
+	bestKey, best, haveBest := "", costMiss{cost: ^uint64(0)}, false
 	for key, v := range states {
-		if better(v, best) {
-			bestKey, best = key, v
+		if !haveBest || better(v, best) || (!better(best, v) && key < bestKey) {
+			bestKey, best, haveBest = key, v, true
 		}
 	}
 
@@ -186,9 +190,6 @@ func (p *Scripted) Reset(sets, ways int) {
 	p.missIdx = map[int]int{}
 	p.fallback.Reset(sets, ways)
 }
-
-// OnAccess implements cache.Policy.
-func (p *Scripted) OnAccess(addr uint64, write bool) {}
 
 // OnHit implements cache.Policy.
 func (p *Scripted) OnHit(set, way int, line *cache.Line, write bool) {

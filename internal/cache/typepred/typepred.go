@@ -73,9 +73,6 @@ func (p *Policy) Observe(class uint8, write bool) {
 	p.pending = s
 }
 
-// OnAccess implements cache.Policy.
-func (p *Policy) OnAccess(addr uint64, write bool) {}
-
 // OnHit implements cache.Policy: promote and train up.
 func (p *Policy) OnHit(set, way int, line *cache.Line, write bool) {
 	i := set*p.ways + way

@@ -80,6 +80,16 @@ type Memory struct {
 	rowShift uint
 	banks    []bank
 	stats    Stats
+
+	// Hot-path constants folded at New: bank count is a power of two,
+	// so bank/row selection is a mask and a shift (the generic modulo
+	// compiled to a hardware divide), and the fixed latency sums and
+	// per-block transfer energy don't change per access.
+	bankMask    uint64
+	bankShift   uint
+	serviceHit  uint64
+	serviceMiss uint64
+	blockPJ     float64
 }
 
 // New creates a memory. Banks must be a power of two and RowBytes a
@@ -92,9 +102,14 @@ func New(cfg Config) (*Memory, error) {
 		return nil, fmt.Errorf("dram: row size %d must be a power of two >= 64", cfg.RowBytes)
 	}
 	m := &Memory{
-		cfg:      cfg,
-		rowShift: uint(bits.TrailingZeros64(cfg.RowBytes)),
-		banks:    make([]bank, cfg.Banks),
+		cfg:         cfg,
+		rowShift:    uint(bits.TrailingZeros64(cfg.RowBytes)),
+		banks:       make([]bank, cfg.Banks),
+		bankMask:    uint64(cfg.Banks - 1),
+		bankShift:   uint(bits.TrailingZeros64(uint64(cfg.Banks))),
+		serviceHit:  cfg.TCAS + cfg.TBurst,
+		serviceMiss: cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.TBurst,
+		blockPJ:     cfg.EnergyPJPerBit * 64 * 8,
 	}
 	for i := range m.banks {
 		m.banks[i].openRow = -1
@@ -122,8 +137,8 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // the target bank.
 func (m *Memory) Access(now uint64, addr uint64, write bool) (latency uint64) {
 	rowGlobal := addr >> m.rowShift
-	b := &m.banks[rowGlobal%uint64(len(m.banks))]
-	row := int64(rowGlobal / uint64(len(m.banks)))
+	b := &m.banks[rowGlobal&m.bankMask]
+	row := int64(rowGlobal >> m.bankShift)
 
 	start := now
 	if b.readyAt > start {
@@ -132,16 +147,16 @@ func (m *Memory) Access(now uint64, addr uint64, write bool) (latency uint64) {
 	var service uint64
 	if b.openRow == row {
 		m.stats.RowHits++
-		service = m.cfg.TCAS + m.cfg.TBurst
+		service = m.serviceHit
 	} else {
 		m.stats.RowMisses++
-		service = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS + m.cfg.TBurst
+		service = m.serviceMiss
 		m.stats.EnergyPJ += m.cfg.RowActivatePJ
 		b.openRow = row
 	}
 	b.readyAt = start + service
 	m.stats.BusyCycles += service
-	m.stats.EnergyPJ += m.cfg.EnergyPJPerBit * 64 * 8
+	m.stats.EnergyPJ += m.blockPJ
 
 	if write {
 		m.stats.Writes++

@@ -61,7 +61,9 @@ func csoptWorkload() (workloadGen, error) {
 		Name:           "csopt-micro",
 		FootprintBytes: 128 << 10,
 		MeanGap:        3,
-		WriteFraction:  0.25,
+		WriteFraction:  0.30,
+		HotBytes:       16 << 10,
+		HotFraction:    0.5,
 		SequentialRun:  2,
 	})
 }

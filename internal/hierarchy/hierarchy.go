@@ -45,6 +45,11 @@ type Config struct {
 	L1Size, L1Ways int
 	L2Size, L2Ways int
 	L3Size, L3Ways int
+	// DisableFastPath forces every level's LRU through the generic
+	// Policy interface instead of the cache's devirtualized fast path.
+	// Results are bit-identical by contract; the cross-check tests use
+	// this to prove it.
+	DisableFastPath bool
 }
 
 // Default returns the paper's Table I hierarchy.
@@ -76,15 +81,21 @@ type Hierarchy struct {
 // New builds a hierarchy. Each level must satisfy the cache package's
 // geometry rules.
 func New(cfg Config) (*Hierarchy, error) {
-	l1, err := cache.New(cfg.L1Size, cfg.L1Ways, policy.NewLRU())
+	newLRU := func() cache.Policy {
+		if cfg.DisableFastPath {
+			return policy.Generic(policy.NewLRU())
+		}
+		return policy.NewLRU()
+	}
+	l1, err := cache.New(cfg.L1Size, cfg.L1Ways, newLRU())
 	if err != nil {
 		return nil, fmt.Errorf("hierarchy: L1: %w", err)
 	}
-	l2, err := cache.New(cfg.L2Size, cfg.L2Ways, policy.NewLRU())
+	l2, err := cache.New(cfg.L2Size, cfg.L2Ways, newLRU())
 	if err != nil {
 		return nil, fmt.Errorf("hierarchy: L2: %w", err)
 	}
-	l3, err := cache.New(cfg.L3Size, cfg.L3Ways, policy.NewLRU())
+	l3, err := cache.New(cfg.L3Size, cfg.L3Ways, newLRU())
 	if err != nil {
 		return nil, fmt.Errorf("hierarchy: L3: %w", err)
 	}
@@ -127,31 +138,31 @@ func (h *Hierarchy) Access(addr uint64, write bool) Outcome {
 	h.scratch = h.scratch[:0]
 	out := Outcome{}
 
-	r1 := h.l1.Access(addr, write, cache.WholeBlock)
-	if r1.Evicted.Valid && r1.Evicted.Dirty {
-		h.writeLower(h.l2, r1.Evicted.Addr)
+	hit1, ev1, dirty1 := h.l1.FastAccess(addr, write)
+	if dirty1 {
+		h.writeLower(h.l2, ev1)
 	}
-	if r1.Hit {
+	if hit1 {
 		out.Hit = L1
 		out.Writebacks = h.scratch
 		return out
 	}
 
-	r2 := h.l2.Access(addr, false, cache.WholeBlock)
-	if r2.Evicted.Valid && r2.Evicted.Dirty {
-		h.writeLower(h.l3, r2.Evicted.Addr)
+	hit2, ev2, dirty2 := h.l2.FastAccess(addr, false)
+	if dirty2 {
+		h.writeLower(h.l3, ev2)
 	}
-	if r2.Hit {
+	if hit2 {
 		out.Hit = L2
 		out.Writebacks = h.scratch
 		return out
 	}
 
-	r3 := h.l3.Access(addr, false, cache.WholeBlock)
-	if r3.Evicted.Valid && r3.Evicted.Dirty {
-		h.scratch = append(h.scratch, r3.Evicted.Addr)
+	hit3, ev3, dirty3 := h.l3.FastAccess(addr, false)
+	if dirty3 {
+		h.scratch = append(h.scratch, ev3)
 	}
-	if r3.Hit {
+	if hit3 {
 		out.Hit = L3
 	} else {
 		out.Hit = Memory
@@ -164,15 +175,15 @@ func (h *Hierarchy) Access(addr uint64, write bool) Outcome {
 // the next level down, cascading further evictions. Writes into the
 // LLC may push dirty blocks to memory.
 func (h *Hierarchy) writeLower(c *cache.Cache, addr uint64) {
-	r := c.Access(addr, true, cache.WholeBlock)
-	if !r.Evicted.Valid || !r.Evicted.Dirty {
+	_, evAddr, evDirty := c.FastAccess(addr, true)
+	if !evDirty {
 		return
 	}
 	if c == h.l2 {
-		h.writeLower(h.l3, r.Evicted.Addr)
+		h.writeLower(h.l3, evAddr)
 		return
 	}
-	h.scratch = append(h.scratch, r.Evicted.Addr)
+	h.scratch = append(h.scratch, evAddr)
 }
 
 // FlushWritebacks drains every dirty line in the hierarchy to memory

@@ -19,6 +19,7 @@ package memlayout
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Fundamental geometry constants shared by both organizations.
@@ -157,6 +158,10 @@ type Layout struct {
 	treeOff    []uint64 // per level, leaf = 0
 	levelCount []uint64 // blocks per level
 	totalBytes uint64
+
+	// ctrShift is log2 of the organization's counter coverage, so the
+	// per-access CounterAddr math is a shift instead of a divide.
+	ctrShift uint
 }
 
 // New builds a layout covering dataBytes of protected data.
@@ -171,6 +176,7 @@ func New(org Organization, dataBytes uint64) (*Layout, error) {
 	l := &Layout{org: org, dataBytes: dataBytes}
 	l.dataBlocks = dataBytes / BlockSize
 	l.counterBlocks = dataBytes / org.CounterCoverage()
+	l.ctrShift = uint(bits.TrailingZeros64(org.CounterCoverage()))
 	l.hashBlocks = ceilDiv(l.dataBlocks, HashesPerBlock)
 
 	l.counterOff = dataBytes
@@ -246,7 +252,7 @@ func (l *Layout) Contains(addr Addr) bool { return addr < l.dataBytes }
 // data block at dataAddr.
 func (l *Layout) CounterAddr(dataAddr Addr) Addr {
 	l.checkData(dataAddr)
-	idx := dataAddr / l.org.CounterCoverage()
+	idx := dataAddr >> l.ctrShift
 	return l.counterOff + idx*BlockSize
 }
 
@@ -322,6 +328,70 @@ func (l *Layout) ChildSlot(addr Addr) int {
 		panic(fmt.Sprintf("memlayout: %#x has no parent slot", addr))
 	}
 	return int(idx % TreeArity)
+}
+
+// ParentInfo returns the parent of a counter or tree block together
+// with the parent's tree level and the child's HMAC slot, from a
+// single address decode. It is the fused form of Parent + Classify +
+// ChildSlot for the engine's tree-update path, where the three
+// separate calls each re-derived the node's (level, index) pair.
+func (l *Layout) ParentInfo(addr Addr) (parent Addr, level int, slot int) {
+	if idx, ok := l.counterIndex(addr); ok {
+		return l.TreeAddr(0, idx/TreeArity), 0, int(idx % TreeArity)
+	}
+	lev, idx, ok := l.treeIndex(addr)
+	if !ok {
+		panic(fmt.Sprintf("memlayout: %#x has no tree parent", addr))
+	}
+	if lev == len(l.treeOff)-1 {
+		return RootAddr, 0, int(idx % TreeArity)
+	}
+	return l.TreeAddr(lev+1, idx/TreeArity), lev + 1, int(idx % TreeArity)
+}
+
+// TreeWalk iterates the ancestor chain of a counter or tree block
+// from its parent up to (not including) the on-chip root. The
+// starting address is decoded once; each step is then a shift on the
+// node index instead of a fresh address decode, which matters because
+// the engine walks this chain on every metadata-cache counter miss.
+type TreeWalk struct {
+	l     *Layout
+	level int
+	idx   uint64
+	done  bool
+}
+
+// WalkFrom starts a TreeWalk at the parent of the given counter or
+// tree block address.
+func (l *Layout) WalkFrom(addr Addr) TreeWalk {
+	if idx, ok := l.counterIndex(addr); ok {
+		return TreeWalk{l: l, level: 0, idx: idx / TreeArity}
+	}
+	lev, idx, ok := l.treeIndex(addr)
+	if !ok {
+		panic(fmt.Sprintf("memlayout: %#x has no tree parent", addr))
+	}
+	if lev == len(l.treeOff)-1 {
+		return TreeWalk{done: true}
+	}
+	return TreeWalk{l: l, level: lev + 1, idx: idx / TreeArity}
+}
+
+// Next returns the next node in the chain and its level, or ok=false
+// once the chain reaches the root.
+func (w *TreeWalk) Next() (node Addr, level int, ok bool) {
+	if w.done {
+		return 0, 0, false
+	}
+	node = w.l.treeOff[w.level] + w.idx*BlockSize
+	level = w.level
+	if w.level == len(w.l.treeOff)-1 {
+		w.done = true
+	} else {
+		w.level++
+		w.idx /= TreeArity
+	}
+	return node, level, true
 }
 
 // VerifyChain returns the tree node addresses needed to verify the

@@ -1,0 +1,54 @@
+package memlayout
+
+import "testing"
+
+// TestWalkMatchesParentChain checks the decode-once iterator against
+// the reference Parent/Classify/ChildSlot chain for both
+// organizations, over every counter block and every tree node.
+func TestWalkMatchesParentChain(t *testing.T) {
+	for _, org := range []Organization{PoisonIvy, SGX} {
+		l := MustNew(org, 8<<20)
+		var starts []Addr
+		for i := uint64(0); i < l.CounterBlocks(); i++ {
+			starts = append(starts, l.counterOff+i*BlockSize)
+		}
+		for lev := 0; lev < l.TreeLevels(); lev++ {
+			for i := uint64(0); i < l.TreeLevelBlocks(lev); i++ {
+				starts = append(starts, l.TreeAddr(lev, i))
+			}
+		}
+		for _, addr := range starts {
+			// ParentInfo vs the three separate decodes.
+			parent, level, slot := l.ParentInfo(addr)
+			if want := l.Parent(addr); parent != want {
+				t.Fatalf("%v ParentInfo(%#x) parent = %#x, want %#x", org, addr, parent, want)
+			}
+			if want := l.ChildSlot(addr); slot != want {
+				t.Fatalf("%v ParentInfo(%#x) slot = %d, want %d", org, addr, slot, want)
+			}
+			if parent != RootAddr {
+				if k, want := l.Classify(parent); k != KindTree || level != want {
+					t.Fatalf("%v ParentInfo(%#x) level = %d, want %d", org, addr, level, want)
+				}
+			}
+
+			// TreeWalk vs iterating Parent.
+			walk := l.WalkFrom(addr)
+			for node := l.Parent(addr); node != RootAddr; node = l.Parent(node) {
+				got, lev, ok := walk.Next()
+				if !ok {
+					t.Fatalf("%v walk from %#x ended before %#x", org, addr, node)
+				}
+				if got != node {
+					t.Fatalf("%v walk from %#x = %#x, want %#x", org, addr, got, node)
+				}
+				if _, want := l.Classify(node); lev != want {
+					t.Fatalf("%v walk from %#x level = %d, want %d", org, addr, lev, want)
+				}
+			}
+			if _, _, ok := walk.Next(); ok {
+				t.Fatalf("%v walk from %#x did not terminate at the root", org, addr)
+			}
+		}
+	}
+}

@@ -125,6 +125,11 @@ type Config struct {
 	PartialWrites bool
 	// Partition constrains counter/hash placement; nil means none.
 	Partition partition.Scheme
+	// DisableFastPath wraps the policy with policy.Generic so the
+	// underlying cache cannot devirtualize it. Results are
+	// bit-identical by contract; the cross-check tests use this to
+	// prove it.
+	DisableFastPath bool
 }
 
 // KindStats counts per-kind activity. Accesses = Hits + Misses +
@@ -171,12 +176,31 @@ type MetaCache struct {
 	perKind  [4]KindStats
 	perLevel [16]KindStats // tree accesses split by level
 	scratch  []Evicted
+
+	// Per-access invariants resolved once at New: the policy's
+	// optional class observer, whether the partition scheme is the
+	// no-op None (whose mask is constant and observer empty), and the
+	// content/partial-write policies flattened into per-kind tables —
+	// the Access wrapper's bookkeeping showed up in profiles alongside
+	// the cache probe itself.
+	observer    classObserver
+	noPartition bool
+	fullMask    uint64
+	allow       [4]bool
+	partialOK   [4]bool
 }
+
+// classObserver is the optional per-class learning hook type-aware
+// policies implement; detected once instead of asserted per access.
+type classObserver interface{ Observe(class uint8, write bool) }
 
 // New builds a metadata cache.
 func New(cfg Config) (*MetaCache, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = policy.NewPLRU()
+	}
+	if cfg.DisableFastPath {
+		cfg.Policy = policy.Generic(cfg.Policy)
 	}
 	if cfg.Content == 0 {
 		cfg.Content = AllTypes
@@ -189,7 +213,20 @@ func New(cfg Config) (*MetaCache, error) {
 		cfg.Partition = partition.NewNone()
 	}
 	cfg.Partition.Reset(c.Sets(), cfg.Ways)
-	return &MetaCache{cfg: cfg, c: c}, nil
+	m := &MetaCache{cfg: cfg, c: c}
+	m.observer, _ = cfg.Policy.(classObserver)
+	if _, none := cfg.Partition.(*partition.None); none {
+		m.noPartition = true
+		m.fullMask = cfg.Partition.AllowedMask(0, memlayout.KindCounter)
+	}
+	for _, k := range memlayout.MetaKinds {
+		m.allow[k] = cfg.Content.Allows(k)
+	}
+	if cfg.PartialWrites {
+		m.partialOK[memlayout.KindHash] = true
+		m.partialOK[memlayout.KindTree] = true
+	}
+	return m, nil
 }
 
 // MustNew is New but panics on error.
@@ -216,19 +253,27 @@ func (m *MetaCache) PartialWrites() bool { return m.cfg.PartialWrites }
 // Allows reports whether the content policy admits a kind.
 func (m *MetaCache) Allows(kind memlayout.Kind) bool { return m.cfg.Content.Allows(kind) }
 
+// fillAccesses derives the access total from its disjoint components;
+// the hot path maintains only the components (one fewer counter
+// update per access).
+func fillAccesses(s KindStats) KindStats {
+	s.Accesses = s.Hits + s.Misses + s.Bypassed
+	return s
+}
+
 // KindStats returns per-kind counters.
-func (m *MetaCache) KindStats(kind memlayout.Kind) KindStats { return m.perKind[kind] }
+func (m *MetaCache) KindStats(kind memlayout.Kind) KindStats { return fillAccesses(m.perKind[kind]) }
 
 // LevelStats returns the counters for tree accesses at one level
 // (leaf = 0). The paper's observation that upper levels cache better
 // (they cover more data) is directly visible here.
-func (m *MetaCache) LevelStats(level int) KindStats { return m.perLevel[level&0xF] }
+func (m *MetaCache) LevelStats(level int) KindStats { return fillAccesses(m.perLevel[level&0xF]) }
 
 // TotalStats sums the per-kind counters over metadata kinds.
 func (m *MetaCache) TotalStats() KindStats {
 	var t KindStats
 	for _, k := range memlayout.MetaKinds {
-		s := m.perKind[k]
+		s := fillAccesses(m.perKind[k])
 		t.Accesses += s.Accesses
 		t.Hits += s.Hits
 		t.Misses += s.Misses
@@ -266,14 +311,12 @@ func (m *MetaCache) Occupancy(kind int) int {
 // reused across calls.
 func (m *MetaCache) Access(addr uint64, kind memlayout.Kind, level int, write bool, slot int) Result {
 	st := &m.perKind[kind]
-	st.Accesses++
 	var lv *KindStats
 	if kind == memlayout.KindTree {
 		lv = &m.perLevel[level&0xF]
-		lv.Accesses++
 	}
 
-	if !m.cfg.Content.Allows(kind) {
+	if !m.allow[kind] {
 		st.Bypassed++
 		if lv != nil {
 			lv.Bypassed++
@@ -283,58 +326,84 @@ func (m *MetaCache) Access(addr uint64, kind memlayout.Kind, level int, write bo
 
 	// Type-aware predictors learn from the (kind, level, request
 	// type) signature of each access.
-	if obs, ok := m.cfg.Policy.(interface{ Observe(class uint8, write bool) }); ok {
-		obs.Observe(EncodeClass(kind, level), write)
+	if m.observer != nil {
+		m.observer.Observe(EncodeClass(kind, level), write)
 	}
 
-	set := m.c.SetOf(addr)
-	allowed := m.cfg.Partition.AllowedMask(set, kind)
-
-	partial := m.cfg.PartialWrites && slot >= 0 &&
-		(kind == memlayout.KindHash || kind == memlayout.KindTree)
-	if !partial {
-		slot = -1
+	var set int
+	var allowed uint64
+	if m.noPartition {
+		allowed = m.fullMask
+	} else {
+		set = m.c.SetOf(addr)
+		allowed = m.cfg.Partition.AllowedMask(set, kind)
 	}
-	res := m.c.Access(addr, write, cache.Options{
-		Class:   EncodeClass(kind, level),
-		Slot:    slot,
-		Partial: partial,
-		Allowed: allowed,
-	})
 
-	m.cfg.Partition.Observe(set, kind, res.Hit)
+	// Both branches produce the same register-friendly tuple: evFlags
+	// is the displaced dirty line's packed flags word, zero when none.
+	var tagHit, slotValid bool
+	var evAddr, evFlags uint64
+	if partial := m.partialOK[kind] && slot >= 0; !partial {
+		// Whole-block accesses (counters, tree verification, and all
+		// traffic when partial writes are off) skip the Options/Result
+		// struct boundary of the general cache entry point.
+		tagHit, evAddr, evFlags = m.c.FastAccessClassed(addr, write, EncodeClass(kind, level), allowed)
+		slotValid = tagHit
+	} else {
+		res := m.c.Access(addr, write, cache.Options{
+			Class:   EncodeClass(kind, level),
+			Slot:    slot,
+			Partial: partial,
+			Allowed: allowed,
+		})
+		tagHit, slotValid = res.Hit, res.SlotValid
+		if res.Evicted.Valid && res.Evicted.Dirty {
+			evAddr = res.Evicted.Addr
+			evFlags = packFlagsWord(res.Evicted.Class, res.Evicted.ValidMask)
+		}
+	}
 
-	out := Result{TagHit: res.Hit, Hit: res.Hit && res.SlotValid}
-	if res.Hit {
+	if !m.noPartition {
+		m.cfg.Partition.Observe(set, kind, tagHit)
+	}
+
+	out := Result{TagHit: tagHit, Hit: tagHit && slotValid}
+	if tagHit {
 		st.Hits++
-		if !res.SlotValid {
+		if !slotValid {
 			st.PartialMiss++
 		}
 	} else {
 		st.Misses++
 	}
 	if lv != nil {
-		if res.Hit {
+		if tagHit {
 			lv.Hits++
-			if !res.SlotValid {
+			if !slotValid {
 				lv.PartialMiss++
 			}
 		} else {
 			lv.Misses++
 		}
 	}
-	if res.Evicted.Valid && res.Evicted.Dirty {
+	if evFlags != 0 {
 		m.scratch = m.scratch[:0]
-		k, lev := DecodeClass(res.Evicted.Class)
+		k, lev := DecodeClass(uint8(evFlags >> 16))
 		m.scratch = append(m.scratch, Evicted{
-			Addr:    res.Evicted.Addr,
+			Addr:    evAddr,
 			Kind:    k,
 			Level:   lev,
-			Partial: res.Evicted.ValidMask != cache.FullMask,
+			Partial: uint8(evFlags>>8) != cache.FullMask,
 		})
 		out.Evicted = m.scratch
 	}
 	return out
+}
+
+// packFlagsWord mirrors the cache's packed flags layout
+// (Class<<16 | ValidMask<<8 | dirty) for the slow-path branch above.
+func packFlagsWord(class, vmask uint8) uint64 {
+	return uint64(class)<<16 | uint64(vmask)<<8 | 1
 }
 
 // Flush evicts everything, returning the dirty blocks for final

@@ -1,0 +1,34 @@
+package engine
+
+import "testing"
+
+// TestReadWritebackZeroAllocs pins the secure engine's per-miss
+// metadata walk at zero heap allocations in steady state. The warmup
+// pass touches the whole address window first so the lazily built
+// counter blocks exist before measurement.
+func TestReadWritebackZeroAllocs(t *testing.T) {
+	e, _ := newEngine(t, 32<<10, false)
+	var x uint64 = 7
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 33 % (1 << 14)) * 64 // 1 MB window of data blocks
+	}
+	now := uint64(0)
+	for i := 0; i < 50_000; i++ {
+		if i%3 == 0 {
+			now += e.Writeback(now, next())
+		} else {
+			now += e.Read(now, next())
+		}
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		now += e.Read(now, next())
+	}); avg != 0 {
+		t.Errorf("Read allocates %v per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		now += e.Writeback(now, next())
+	}); avg != 0 {
+		t.Errorf("Writeback allocates %v per call, want 0", avg)
+	}
+}

@@ -264,7 +264,7 @@ func (e *Engine) Writeback(now uint64, dataAddr uint64) (latency uint64) {
 		e.stats.Mem.CounterReads++
 		e.stats.Mem.CounterWrites++
 		e.tap(cAddr, memlayout.KindCounter, true, 2)
-		for _, node := range e.layout.VerifyChain(cAddr) {
+		for node := e.layout.Parent(cAddr); node != memlayout.RootAddr; node = e.layout.Parent(node) {
 			e.dram.Access(now, node, true)
 			e.stats.Mem.TreeWrites++
 			e.stats.TreeWalkLevels++
@@ -327,7 +327,7 @@ func (e *Engine) fetchCounter(now uint64, dataAddr uint64, forWrite bool) (critL
 		critLat = e.dram.Access(now, cAddr, false)
 		e.stats.Mem.CounterReads++
 		e.tap(cAddr, memlayout.KindCounter, forWrite, uint64(1+e.layout.TreeLevels()))
-		for _, node := range e.layout.VerifyChain(cAddr) {
+		for node := e.layout.Parent(cAddr); node != memlayout.RootAddr; node = e.layout.Parent(node) {
 			verifyLat += e.dram.Access(now, node, false) + e.hashCompute(now)
 			e.stats.Mem.TreeReads++
 			e.stats.TreeWalkLevels++
@@ -392,9 +392,15 @@ func (e *Engine) fetchHash(now uint64, dataAddr uint64) (lat uint64) {
 // serialized verification latency and the number of memory accesses
 // performed.
 func (e *Engine) verifyAncestors(now uint64, addr uint64) (lat, accesses uint64) {
-	node := e.layout.Parent(addr)
-	for node != memlayout.RootAddr {
-		_, level := e.layout.Classify(node)
+	// The chain iterator decodes addr once; re-deriving each node's
+	// level via Parent + Classify cost two layout decodes per level on
+	// the counter-miss path.
+	walk := e.layout.WalkFrom(addr)
+	for {
+		node, level, ok := walk.Next()
+		if !ok {
+			break
+		}
 		e.stats.TreeWalkLevels++
 		cost := uint64(0)
 		res := e.meta.Access(node, memlayout.KindTree, level, false, -1)
@@ -410,7 +416,6 @@ func (e *Engine) verifyAncestors(now uint64, addr uint64) (lat, accesses uint64)
 		if hit {
 			break
 		}
-		node = e.layout.Parent(node)
 	}
 	return lat, accesses
 }
@@ -423,15 +428,17 @@ func (e *Engine) drainEvictions(now uint64, evicted []metacache.Evicted) {
 	if len(evicted) == 0 {
 		return
 	}
+	// Consume via an index instead of re-slicing the front so the
+	// queue's capacity is reused across accesses (zero steady-state
+	// allocations); handleEviction may append while we drain.
 	e.evQueue = append(e.evQueue[:0], evicted...)
-	for guard := 0; len(e.evQueue) > 0; guard++ {
-		if guard > 1<<20 {
+	for head := 0; head < len(e.evQueue); head++ {
+		if head > 1<<20 {
 			panic("engine: eviction cascade did not terminate")
 		}
-		ev := e.evQueue[0]
-		e.evQueue = e.evQueue[1:]
-		e.handleEviction(now, ev)
+		e.handleEviction(now, e.evQueue[head])
 	}
+	e.evQueue = e.evQueue[:0]
 }
 
 func (e *Engine) handleEviction(now uint64, ev metacache.Evicted) {
@@ -463,7 +470,7 @@ func (e *Engine) handleEviction(now uint64, ev metacache.Evicted) {
 // updateParent records the new HMAC of a written-back counter or
 // tree block into its parent node (the on-chip root is free).
 func (e *Engine) updateParent(now uint64, addr uint64) {
-	parent := e.layout.Parent(addr)
+	parent, level, slot := e.layout.ParentInfo(addr)
 	if parent == memlayout.RootAddr {
 		return
 	}
@@ -478,8 +485,6 @@ func (e *Engine) updateParent(now uint64, addr uint64) {
 		}
 		return
 	}
-	_, level := e.layout.Classify(parent)
-	slot := e.layout.ChildSlot(addr)
 	cost := uint64(0)
 	res := e.meta.Access(parent, memlayout.KindTree, level, true, slot)
 	if !res.Hit && !res.TagHit && !e.partialWritesOn() {

@@ -88,6 +88,12 @@ type Server struct {
 
 	mu   sync.Mutex
 	meta map[string]jobMeta
+	// inflight maps a canonical config hash to the ID of the queued or
+	// running job computing it, so identical submissions coalesce onto
+	// one simulation (singleflight). Entries are cleared when the job
+	// function returns or the job is cancelled while queued.
+	inflight map[results.Key]string
+	deduped  atomic.Uint64
 
 	// Throughput accounting across finished simulations.
 	instrTotal atomic.Uint64
@@ -114,6 +120,7 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		log:       log,
 		meta:      make(map[string]jobMeta),
+		inflight:  make(map[results.Key]string),
 		started:   time.Now(),
 		phaseSecs: make(map[string]float64),
 	}
@@ -238,6 +245,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, s.status(snap))
 			return
 		}
+		// Singleflight: an identical job already queued or running
+		// serves this submission too — hand back its ID instead of
+		// simulating the same config twice.
+		if id, ok := s.inflightJob(key); ok {
+			if snap, err := s.pool.Get(id); err == nil && !snap.State.Terminal() {
+				s.deduped.Add(1)
+				st := s.status(snap)
+				st.Deduped = true
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+		}
 	}
 
 	id, err := s.pool.Submit(fn, timeout)
@@ -251,8 +270,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.noteJob(id, jobMeta{typ: req.Type, key: key, progress: prog})
+	if !req.NoCache {
+		s.setInflight(key, id)
+	}
 	snap, _ := s.pool.Get(id)
 	writeJSON(w, http.StatusAccepted, s.status(snap))
+}
+
+// setInflight registers id as the job computing key.
+func (s *Server) setInflight(key results.Key, id string) {
+	s.mu.Lock()
+	s.inflight[key] = id
+	s.mu.Unlock()
+}
+
+// inflightJob reports the job currently computing key, if any.
+func (s *Server) inflightJob(key results.Key) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.inflight[key]
+	return id, ok
+}
+
+// clearInflight drops the key→id registration, but only if it still
+// points at id: a later identical resubmission may have re-registered
+// the key for a fresh job.
+func (s *Server) clearInflight(key results.Key, id string) {
+	s.mu.Lock()
+	if s.inflight[key] == id {
+		delete(s.inflight, key)
+	}
+	s.mu.Unlock()
 }
 
 // jobCtx gives the work function a run-scoped logger: job ID doubles
@@ -268,6 +316,7 @@ func (s *Server) jobCtx(ctx context.Context, typ string, attrs ...any) context.C
 func (s *Server) runFn(cfg sim.Config, key results.Key, prog *obs.Progress) jobs.Fn {
 	cfg.Progress = prog
 	return func(ctx context.Context) (any, error) {
+		defer s.clearInflight(key, jobs.IDFromContext(ctx))
 		ctx = s.jobCtx(ctx, TypeRun, "benchmark", cfg.Benchmark)
 		t0 := time.Now()
 		res, err := sim.RunContext(ctx, cfg)
@@ -284,6 +333,7 @@ func (s *Server) runFn(cfg sim.Config, key results.Key, prog *obs.Progress) jobs
 func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, key results.Key, prog *obs.Progress) jobs.Fn {
 	cfg.Progress = prog
 	return func(ctx context.Context) (any, error) {
+		defer s.clearInflight(key, jobs.IDFromContext(ctx))
 		ctx = s.jobCtx(ctx, TypeSuite, "benchmarks", len(benchmarks))
 		t0 := time.Now()
 		res, err := sim.RunSuiteContext(ctx, cfg, benchmarks, parallelism)
@@ -415,6 +465,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// A job cancelled while still queued never runs its function, so
+	// its singleflight registration must be cleared here.
+	if m := s.jobMeta(id); m.key != "" {
+		s.clearInflight(m.key, id)
+	}
 	snap, err := s.pool.Get(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -452,6 +507,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_failed_total counter\nmapsd_jobs_failed_total %d\n", ps.Failed)
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_canceled_total counter\nmapsd_jobs_canceled_total %d\n", ps.Canceled)
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_rejected_total counter\nmapsd_jobs_rejected_total %d\n", ps.Rejected)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_deduped_total counter\nmapsd_jobs_deduped_total %d\n", s.deduped.Load())
 	fmt.Fprintf(w, "# TYPE mapsd_workers gauge\nmapsd_workers %d\n", ps.Workers)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_hits_total counter\nmapsd_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_misses_total counter\nmapsd_cache_misses_total %d\n", cs.Misses)

@@ -148,10 +148,14 @@ type JobStatus struct {
 	State    jobs.State `json:"state"`
 	Key      string     `json:"key"`
 	CacheHit bool       `json:"cache_hit"`
-	Created  time.Time  `json:"created"`
-	Started  time.Time  `json:"started"`
-	Finished time.Time  `json:"finished"`
-	Error    string     `json:"error,omitempty"`
+	// Deduped marks a submission that was coalesced onto an identical
+	// job already queued or running (singleflight): the returned ID is
+	// that existing job's, and polling it yields the shared result.
+	Deduped  bool      `json:"deduped,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Error    string    `json:"error,omitempty"`
 }
 
 // JobProgress is the body of GET /v1/jobs/{id}/progress: how far a

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/dram"
+)
+
+// Zero-valued per-benchmark entries (MetaMPKI on an insecure suite,
+// LLCMPKI on a cache-resident workload) must be excluded from the
+// suite geomeans instead of being clamped to the 1e-12 log floor,
+// which would drag the mean to ~0 no matter what the real entries say.
+func TestSuiteGeomeansIgnoreZeroEntries(t *testing.T) {
+	res := &SuiteResult{PerBench: map[string]*Result{
+		"a": {LLCMPKI: 4, MetaMPKI: 0, IPC: 0.5, ED2: 2, DRAM: dram.Stats{Reads: 100}},
+		"b": {LLCMPKI: 9, MetaMPKI: 16, IPC: 0.8, ED2: 0, DRAM: dram.Stats{Reads: 400}},
+		"c": {LLCMPKI: 0, MetaMPKI: 4, IPC: 0.2, ED2: 8, DRAM: dram.Stats{Reads: 0}},
+	}}
+	res.computeGeomeans([]string{"a", "b", "c"})
+
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	approx("GeomeanLLCMPKI", res.GeomeanLLCMPKI, 6)   // sqrt(4*9), zero entry dropped
+	approx("GeomeanMetaMPKI", res.GeomeanMetaMPKI, 8) // sqrt(16*4)
+	approx("GeomeanED2", res.GeomeanED2, 4)           // sqrt(2*8)
+	approx("GeomeanMemAccesses", res.GeomeanMemAccesses, 200)
+	approx("GeomeanIPC", res.GeomeanIPC, math.Cbrt(0.5*0.8*0.2))
+}
+
+// A metric that is zero for every benchmark reports 0, not the clamp
+// floor, and benchmarks missing from PerBench are skipped.
+func TestSuiteGeomeansAllZero(t *testing.T) {
+	res := &SuiteResult{PerBench: map[string]*Result{
+		"a": {LLCMPKI: 2, IPC: 1},
+		"b": {LLCMPKI: 8, IPC: 1},
+	}}
+	res.computeGeomeans([]string{"a", "b", "missing"})
+	if res.GeomeanMetaMPKI != 0 {
+		t.Errorf("GeomeanMetaMPKI = %g, want 0", res.GeomeanMetaMPKI)
+	}
+	if res.GeomeanLLCMPKI != 4 {
+		t.Errorf("GeomeanLLCMPKI = %g, want 4", res.GeomeanLLCMPKI)
+	}
+}

@@ -76,6 +76,14 @@ type Config struct {
 	// an observer can watch a long run advance. Leaving it nil — the
 	// default — costs the hot loop a nil check and nothing else.
 	Progress *obs.Progress
+
+	// DisableFastPath routes every cache (hierarchy levels and the
+	// metadata cache) through the generic Policy interface instead of
+	// the devirtualized fast path. The two paths are bit-identical by
+	// contract — this knob exists so the cross-check tests can prove
+	// it — so it is erased during canonicalization and never affects
+	// cached results.
+	DisableFastPath bool
 }
 
 func (c *Config) fill() error {
@@ -116,8 +124,13 @@ func (c Config) Canonical() (Config, error) {
 	if c.Meta != nil {
 		metaCopy := *c.Meta
 		c.Meta = &metaCopy
+		c.Meta.DisableFastPath = false
 	}
 	c.fillDefaults()
+	// The fast and generic paths produce bit-identical results, so the
+	// knob carries no simulation identity.
+	c.DisableFastPath = false
+	c.Hierarchy.DisableFastPath = false
 	return c, nil
 }
 
@@ -228,6 +241,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	if cfg.DisableFastPath {
+		cfg.Hierarchy.DisableFastPath = true
+		if cfg.Meta != nil {
+			metaCopy := *cfg.Meta
+			metaCopy.DisableFastPath = true
+			cfg.Meta = &metaCopy
+		}
+	}
 	endRun := obs.Span(ctx, "run", "benchmark", cfg.Benchmark)
 	endSetup := obs.Span(ctx, "setup", "benchmark", cfg.Benchmark)
 	prog := cfg.Progress
@@ -275,17 +296,25 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Per-access invariants, hoisted out of the inner loop: latency
+	// constants, the CPI mode, and the engine presence test.
 	var (
 		cycles     uint64
 		acc        workload.Access
 		sinceCheck uint64
+		l2Lat      = cfg.L2HitLatency
+		l3Lat      = cfg.L3HitLatency
+		baseCPI    = cfg.BaseCPI
+		unitCPI    = cfg.BaseCPI == 1.0
+		secure     = eng != nil
 	)
 	step := func(limit uint64) (uint64, error) {
 		var instrs uint64
 		for instrs < limit {
 			gen.Next(&acc)
-			instrs += uint64(acc.Gap)
-			sinceCheck += uint64(acc.Gap)
+			gap := uint64(acc.Gap)
+			instrs += gap
+			sinceCheck += gap
 			if sinceCheck >= cancelCheckInterval {
 				if prog != nil {
 					prog.Add(sinceCheck)
@@ -295,26 +324,36 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					return instrs, err
 				}
 			}
-			cycles += uint64(float64(acc.Gap) * cfg.BaseCPI)
+			if unitCPI {
+				// The common BaseCPI == 1 case stays in pure integer
+				// math; the float path rounds identically for it.
+				cycles += gap
+			} else {
+				cycles += uint64(float64(gap) * baseCPI)
+			}
 			out := hier.Access(acc.Addr, acc.Write)
 			switch out.Hit {
 			case hierarchy.L2:
-				cycles += cfg.L2HitLatency
+				cycles += l2Lat
 			case hierarchy.L3:
-				cycles += cfg.L3HitLatency
+				cycles += l3Lat
 			case hierarchy.Memory:
-				cycles += cfg.L3HitLatency
-				if eng != nil {
+				cycles += l3Lat
+				if secure {
 					cycles += eng.Read(cycles, acc.Addr)
 				} else {
 					cycles += mem.Access(cycles, memlayout.BlockOf(acc.Addr), false)
 				}
 			}
-			for _, wb := range out.Writebacks {
-				if eng != nil {
-					eng.Writeback(cycles, wb)
+			if len(out.Writebacks) > 0 {
+				if secure {
+					for _, wb := range out.Writebacks {
+						eng.Writeback(cycles, wb)
+					}
 				} else {
-					mem.Access(cycles, wb, true)
+					for _, wb := range out.Writebacks {
+						mem.Access(cycles, wb, true)
+					}
 				}
 			}
 		}

@@ -122,22 +122,49 @@ func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, para
 		return nil, err
 	}
 
+	res.computeGeomeans(benchmarks)
+	res.Wall = endSuite()
+	return res, nil
+}
+
+// computeGeomeans fills the suite-level geometric means from the
+// per-benchmark results.
+func (s *SuiteResult) computeGeomeans(benchmarks []string) {
 	var llc, meta, ipc, ed2, mem []float64
 	for _, b := range benchmarks {
-		r := res.PerBench[b]
+		r := s.PerBench[b]
+		if r == nil {
+			continue
+		}
 		llc = append(llc, r.LLCMPKI)
 		meta = append(meta, r.MetaMPKI)
 		ipc = append(ipc, r.IPC)
 		ed2 = append(ed2, r.ED2)
 		mem = append(mem, float64(r.DRAM.Accesses()))
 	}
-	res.GeomeanLLCMPKI = stats.Geomean(llc)
-	res.GeomeanMetaMPKI = stats.Geomean(meta)
-	res.GeomeanIPC = stats.Geomean(ipc)
-	res.GeomeanED2 = stats.Geomean(ed2)
-	res.GeomeanMemAccesses = stats.Geomean(mem)
-	res.Wall = endSuite()
-	return res, nil
+	s.GeomeanLLCMPKI = geomeanPositive(llc)
+	s.GeomeanMetaMPKI = geomeanPositive(meta)
+	s.GeomeanIPC = geomeanPositive(ipc)
+	s.GeomeanED2 = geomeanPositive(ed2)
+	s.GeomeanMemAccesses = geomeanPositive(mem)
+}
+
+// geomeanPositive is stats.Geomean restricted to the strictly positive
+// entries. A zero per-benchmark value — MetaMPKI in an insecure suite,
+// LLCMPKI for a cache-resident workload — would otherwise be clamped
+// to Geomean's 1e-12 log floor and drag the whole mean to nonsense.
+// With no positive entries the mean is 0.
+func geomeanPositive(vals []float64) float64 {
+	pos := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if v > 0 {
+			pos = append(pos, v)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	return stats.Geomean(pos)
 }
 
 // Render prints a per-benchmark summary table with the geomean row.

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// A stream with a hot region but no sampling interval used to divide
+// by zero on the first hot reference in Next; newStream now rejects
+// the combination at construction.
+func TestNewStreamRejectsHotRegionWithoutInterval(t *testing.T) {
+	for _, hotEvery := range []int{0, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("hotEvery=%d: newStream accepted a hot region without an interval", hotEvery)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "hotEvery") {
+					t.Errorf("hotEvery=%d: unexpected panic %v", hotEvery, r)
+				}
+			}()
+			newStream(base{name: "bad", footprint: 1 << 20, meanGap: 2}, 64<<10, hotEvery)
+		}()
+	}
+}
+
+// The valid corners keep working: no hot region at all (hotEvery
+// irrelevant) and a hot region with a positive interval, which must
+// emit hot references without faulting.
+func TestNewStreamValidCorners(t *testing.T) {
+	plain := newStream(base{name: "plain", footprint: 1 << 20, meanGap: 2}, 0, 0)
+	plain.Reset(1)
+	hot := newStream(base{name: "hot", footprint: 1 << 20, meanGap: 2}, 64<<10, 3)
+	hot.Reset(1)
+	var a Access
+	for i := 0; i < 1000; i++ {
+		plain.Next(&a)
+		hot.Next(&a)
+		if a.Addr >= hot.footprint {
+			t.Fatalf("access %d escapes the footprint: %#x", i, a.Addr)
+		}
+	}
+}

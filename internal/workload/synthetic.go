@@ -62,9 +62,13 @@ func (c *SyntheticConfig) validate() error {
 // synthetic implements the configurable generator.
 type synthetic struct {
 	base
-	cfg SyntheticConfig
-	cur uint64
-	rem int
+	cfg     SyntheticConfig
+	hotCut  uint64 // precomputed cutoff(cfg.HotFraction)
+	cur     uint64
+	rem     int
+	hotMod  umod
+	coldMod umod
+	runMod  umod
 }
 
 // NewSynthetic builds a generator from an explicit configuration.
@@ -88,8 +92,16 @@ func NewSynthetic(cfg SyntheticConfig) (Generator, error) {
 // Reset implements Generator.
 func (g *synthetic) Reset(seed int64) {
 	g.reset(seed)
+	g.hotCut = cutoff(g.cfg.HotFraction)
 	g.cur = 0
 	g.rem = 0
+	if g.cfg.HotBytes > 0 {
+		g.hotMod = newUmod(g.cfg.HotBytes / block)
+	}
+	g.coldMod = newUmod((g.footprint - g.cfg.HotBytes) / block)
+	if g.cfg.SequentialRun > 1 {
+		g.runMod = newUmod(uint64(g.cfg.SequentialRun))
+	}
 }
 
 // Next implements Generator.
@@ -99,18 +111,17 @@ func (g *synthetic) Next(a *Access) {
 		case g.cfg.Stream:
 			// Sequential sweep continues from cur; hot interleave
 			// handled below via HotFraction jumps.
-			if g.cfg.HotBytes > 0 && g.rng.Float64() < g.cfg.HotFraction {
-				g.cur = uint64(g.rng.Int63n(int64(g.cfg.HotBytes/block))) * block
+			if g.cfg.HotBytes > 0 && g.rng.next() < g.hotCut {
+				g.cur = g.hotMod.rem(g.rng.next()) * block
 			}
-		case g.cfg.HotBytes > 0 && g.rng.Float64() < g.cfg.HotFraction:
-			g.cur = uint64(g.rng.Int63n(int64(g.cfg.HotBytes/block))) * block
+		case g.cfg.HotBytes > 0 && g.rng.next() < g.hotCut:
+			g.cur = g.hotMod.rem(g.rng.next()) * block
 		default:
-			lo := g.cfg.HotBytes
-			g.cur = lo + uint64(g.rng.Int63n(int64((g.footprint-lo)/block)))*block
+			g.cur = g.cfg.HotBytes + g.coldMod.rem(g.rng.next())*block
 		}
 		g.rem = 1
 		if g.cfg.SequentialRun > 1 {
-			g.rem += g.rng.Intn(g.cfg.SequentialRun)
+			g.rem += int(g.runMod.rem(g.rng.next()))
 		}
 	}
 	a.Addr = g.cur

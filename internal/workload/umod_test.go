@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUmodExact verifies the magic-multiplier reduction agrees with
+// the hardware remainder for every divisor shape the generators use:
+// powers of two, small odd values, block counts, and worst-case
+// divisors near the top of the magic range. Exactness is what keeps
+// the random streams (and the golden numbers) bit-identical after the
+// divide removal.
+func TestUmodExact(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 6, 7, 9, 11, 15, 16, 31, 63, 64, 100, 127,
+		1 << 10, (4 << 20) / 64, (96 << 20) / 64, (96 << 20) - (2 << 20),
+		(1 << 32) - 1, (1 << 32) + 1, (1 << 45) + 12345, math.MaxUint64 / 3,
+	}
+	xs := []uint64{
+		0, 1, 2, 3, 63, 64, 65, 1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63,
+		math.MaxUint64, math.MaxUint64 - 1,
+	}
+	var r rng
+	r.seed(12345)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, r.next())
+	}
+	for _, d := range divisors {
+		u := newUmod(d)
+		for _, x := range xs {
+			if got, want := u.rem(x), x%d; got != want {
+				t.Fatalf("umod(%d).rem(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+		// The divisor's own neighbourhood exercises the q rounding.
+		for _, x := range []uint64{d - 1, d, d + 1, 2*d - 1, 2 * d, 3*d + 1} {
+			if got, want := u.rem(x), x%d; got != want {
+				t.Fatalf("umod(%d).rem(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestUmodZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newUmod(0) did not panic")
+		}
+	}()
+	newUmod(0)
+}

@@ -9,7 +9,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"sort"
 )
 
@@ -44,20 +44,109 @@ const block = 64
 // cache hits, keeping LLC MPKI in the ranges the paper reports.
 const word = 8
 
+// rng is an inlined SplitMix64 generator (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators"). The generators draw
+// from it on every access, so it must cost a handful of arithmetic
+// ops — math/rand paid two interface dispatches per access (Intn for
+// the gap, Float64 for the write coin), which dominated Next in
+// profiles. The determinism contract is unchanged: Reset(seed)
+// rewinds the stream exactly.
+//
+// Swapping the source changed every generator's stream once; the
+// statistical shape (write mix, gap means, locality) is identical.
+// docs/PERFORMANCE.md documents this one-time golden-number bump.
+type rng struct{ s uint64 }
+
+func (r *rng) seed(v uint64) { r.s = v }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// n returns a value uniform in [0, n). The modulo bias is O(n/2^64),
+// immaterial for block counts far below 2^63.
+func (r *rng) n(n uint64) uint64 { return r.next() % n }
+
+// intn is n for int-typed ranges.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// umod reduces modulo a fixed divisor with multiply-shift arithmetic
+// (Granlund & Montgomery; Hacker's Delight §10). The generators draw
+// a bounded value on nearly every access, and a hardware 64-bit
+// divide costs more than the rest of the draw combined; the magic
+// multiplier computes exactly x % d, so streams (and golden numbers)
+// are unchanged.
+type umod struct {
+	d    uint64
+	m    uint64 // magic multiplier for non-power-of-two d
+	mask uint64 // d-1 for power-of-two d
+	l    uint   // post-shift: ceil(log2 d) - 1
+	pow2 bool
+}
+
+func newUmod(d uint64) umod {
+	if d == 0 {
+		panic("workload: zero modulus")
+	}
+	if d&(d-1) == 0 {
+		return umod{d: d, mask: d - 1, pow2: true}
+	}
+	// ceil(log2 d); d has at least two bits set, so l >= 2 and the
+	// (x-t)>>1 fixup below never shifts by a negative amount.
+	l := uint(bits.Len64(d - 1))
+	m, _ := bits.Div64(uint64(1)<<l-d, 0, d)
+	return umod{d: d, m: m + 1, l: l - 1}
+}
+
+func (u umod) rem(x uint64) uint64 {
+	if u.pow2 {
+		return x & u.mask
+	}
+	t, _ := bits.Mul64(u.m, x)
+	q := (t + (x-t)>>1) >> u.l
+	return x - q*u.d
+}
+
+// cutoff converts a probability in [0, 1] into a threshold such that
+// next() < cutoff(p) holds with probability p, so per-access coin
+// flips are a single integer compare instead of a float multiply.
+func cutoff(frac float64) uint64 {
+	switch {
+	case frac <= 0:
+		return 0
+	case frac >= 1:
+		return ^uint64(0)
+	}
+	return uint64(frac * float64(1<<63) * 2)
+}
+
 // base carries the shared knobs: instruction gaps and write ratio.
 type base struct {
 	name      string
 	footprint uint64
 	meanGap   int
 	writeFrac float64
-	rng       *rand.Rand
+	rng       rng
+	// writeCut and gapMod are precomputed by reset so the per-access
+	// draws are pure integer math with no hardware divide.
+	writeCut uint64
+	gapMod   umod // modulus 2*meanGap-1; zero d means every gap is 1
 }
 
 func (b *base) Name() string      { return b.name }
 func (b *base) Footprint() uint64 { return b.footprint }
 
 func (b *base) reset(seed int64) {
-	b.rng = rand.New(rand.NewSource(seed ^ int64(hashName(b.name))))
+	b.rng.seed(uint64(seed) ^ hashName(b.name))
+	b.writeCut = cutoff(b.writeFrac)
+	b.gapMod = umod{}
+	if b.meanGap > 1 {
+		b.gapMod = newUmod(uint64(2*b.meanGap - 1))
+	}
 }
 
 func hashName(s string) uint64 {
@@ -71,13 +160,13 @@ func hashName(s string) uint64 {
 // gap draws an instruction gap uniform in [1, 2*meanGap-1], mean
 // meanGap.
 func (b *base) gap() uint32 {
-	if b.meanGap <= 1 {
+	if b.gapMod.d == 0 {
 		return 1
 	}
-	return uint32(1 + b.rng.Intn(2*b.meanGap-1))
+	return uint32(1 + b.gapMod.rem(b.rng.next()))
 }
 
-func (b *base) write() bool { return b.rng.Float64() < b.writeFrac }
+func (b *base) write() bool { return b.rng.next() < b.writeCut }
 
 // stream sweeps its footprint sequentially, forever — the paper's
 // description of libquantum: "repeatedly streams through a 4MB
@@ -89,22 +178,39 @@ type stream struct {
 	// region (streamcluster's cluster centers).
 	hotBytes uint64
 	hotEvery int
-	count    int
+	until    int // accesses left before the next hot reference
+	hotMod   umod
+}
+
+// newStream validates the hot-region knobs at construction: a hot
+// region without a sampling interval would divide by zero in Next.
+func newStream(b base, hotBytes uint64, hotEvery int) *stream {
+	if hotBytes > 0 && hotEvery <= 0 {
+		panic(fmt.Sprintf("workload: %s: hot region (%d B) requires hotEvery >= 1, got %d",
+			b.name, hotBytes, hotEvery))
+	}
+	return &stream{base: b, hotBytes: hotBytes, hotEvery: hotEvery}
 }
 
 func (g *stream) Reset(seed int64) {
 	g.reset(seed)
 	g.pos = 0
-	g.count = 0
+	g.until = g.hotEvery
+	if g.hotBytes > 0 {
+		g.hotMod = newUmod(g.hotBytes / block)
+	}
 }
 
 func (g *stream) Next(a *Access) {
-	g.count++
-	if g.hotBytes > 0 && g.count%g.hotEvery == 0 {
-		a.Addr = uint64(g.rng.Int63n(int64(g.hotBytes/block))) * block
-		a.Write = g.write()
-		a.Gap = g.gap()
-		return
+	if g.hotBytes > 0 {
+		g.until--
+		if g.until == 0 {
+			g.until = g.hotEvery
+			a.Addr = g.hotMod.rem(g.rng.next()) * block
+			a.Write = g.write()
+			a.Gap = g.gap()
+			return
+		}
 	}
 	a.Addr = g.pos
 	g.pos += word
@@ -121,27 +227,39 @@ func (g *stream) Next(a *Access) {
 type chase struct {
 	base
 	hotFrac   float64 // fraction of accesses that go to the hot region
+	hotCut    uint64  // precomputed cutoff(hotFrac)
 	hotBytes  uint64
 	runLen    int // short sequential runs model element records
 	remaining int
 	cur       uint64
+	hotMod    umod
+	footMod   umod
+	runMod    umod
 }
 
 func (g *chase) Reset(seed int64) {
 	g.reset(seed)
+	g.hotCut = cutoff(g.hotFrac)
 	g.remaining = 0
+	if g.hotBytes > 0 {
+		g.hotMod = newUmod(g.hotBytes / block)
+	}
+	g.footMod = newUmod(g.footprint / block)
+	if g.runLen > 1 {
+		g.runMod = newUmod(uint64(g.runLen))
+	}
 }
 
 func (g *chase) Next(a *Access) {
 	if g.remaining <= 0 {
-		if g.hotBytes > 0 && g.rng.Float64() < g.hotFrac {
-			g.cur = uint64(g.rng.Int63n(int64(g.hotBytes/block))) * block
+		if g.hotBytes > 0 && g.rng.next() < g.hotCut {
+			g.cur = g.hotMod.rem(g.rng.next()) * block
 		} else {
-			g.cur = uint64(g.rng.Int63n(int64(g.footprint/block))) * block
+			g.cur = g.footMod.rem(g.rng.next()) * block
 		}
 		g.remaining = 1
 		if g.runLen > 1 {
-			g.remaining += g.rng.Intn(g.runLen)
+			g.remaining += int(g.runMod.rem(g.rng.next()))
 		}
 	}
 	a.Addr = g.cur
@@ -205,18 +323,19 @@ type stencil struct {
 	nx, ny, nz uint64 // points per dimension, 8 B per point
 	i          uint64 // linear sweep position in points
 	phase      int    // which neighbour of the current point
+	ptsMod     umod   // modulus nx*ny*nz
 }
 
 func (g *stencil) Reset(seed int64) {
 	g.reset(seed)
 	g.i = 0
 	g.phase = 0
+	g.ptsMod = newUmod(g.nx * g.ny * g.nz)
 }
 
 func (g *stencil) Next(a *Access) {
 	const ptBytes = 8
-	points := g.nx * g.ny * g.nz
-	center := g.i % points
+	center := g.ptsMod.rem(g.i)
 	var off int64
 	switch g.phase {
 	case 0:
@@ -226,7 +345,7 @@ func (g *stencil) Next(a *Access) {
 	case 2:
 		off = int64(g.nx * g.ny) // +z neighbour
 	}
-	idx := (center + uint64(off)) % points
+	idx := g.ptsMod.rem(center + uint64(off))
 	a.Addr = idx * ptBytes
 	g.phase++
 	if g.phase == 3 {
@@ -244,19 +363,25 @@ type treewalk struct {
 	base
 	levels    int
 	nodeBytes uint64
+	levelMod  umod
+	footMod   umod
 }
 
-func (g *treewalk) Reset(seed int64) { g.reset(seed) }
+func (g *treewalk) Reset(seed int64) {
+	g.reset(seed)
+	g.levelMod = newUmod(uint64(g.levels))
+	g.footMod = newUmod(g.footprint)
+}
 
 func (g *treewalk) Next(a *Access) {
 	// Pick a random leaf, then emit one node along its path per call.
 	// Encoding: level offsets laid out level by level.
-	level := g.rng.Intn(g.levels)
+	level := int(g.levelMod.rem(g.rng.next()))
 	nodesAt := uint64(1) << uint(2*level) // 4-ary tree
 	first := (pow4(level) - 1) / 3        // Σ 4^i below this level
-	idx := uint64(g.rng.Int63n(int64(nodesAt)))
+	idx := g.rng.next() & (nodesAt - 1)   // nodesAt is a power of two
 	addr := (first + idx) * g.nodeBytes
-	a.Addr = addr % g.footprint
+	a.Addr = g.footMod.rem(addr)
 	a.Write = g.write()
 	a.Gap = g.gap()
 }
@@ -269,24 +394,32 @@ type mixed struct {
 	base
 	hotBytes uint64
 	hotFrac  float64
+	hotCut   uint64 // precomputed cutoff(hotFrac)
 	seqRun   int
 	rem      int
 	cur      uint64
+	hotMod   umod
+	coldMod  umod
+	runMod   umod
 }
 
 func (g *mixed) Reset(seed int64) {
 	g.reset(seed)
+	g.hotCut = cutoff(g.hotFrac)
 	g.rem = 0
+	g.hotMod = newUmod(g.hotBytes / block)
+	g.coldMod = newUmod((g.footprint - g.hotBytes) / block)
+	g.runMod = newUmod(uint64(g.seqRun))
 }
 
 func (g *mixed) Next(a *Access) {
 	if g.rem <= 0 {
-		if g.rng.Float64() < g.hotFrac {
-			g.cur = uint64(g.rng.Int63n(int64(g.hotBytes/block))) * block
+		if g.rng.next() < g.hotCut {
+			g.cur = g.hotMod.rem(g.rng.next()) * block
 		} else {
-			g.cur = g.hotBytes + uint64(g.rng.Int63n(int64((g.footprint-g.hotBytes)/block)))*block
+			g.cur = g.hotBytes + g.coldMod.rem(g.rng.next())*block
 		}
-		g.rem = 1 + g.rng.Intn(g.seqRun)
+		g.rem = 1 + int(g.runMod.rem(g.rng.next()))
 	}
 	a.Addr = g.cur
 	g.cur += word
@@ -348,7 +481,7 @@ var registry = map[string]func() Generator{
 	},
 	// SPEC libquantum: repeatedly streams a 4 MB array.
 	"libquantum": func() Generator {
-		return &stream{base: base{name: "libquantum", footprint: 4 << 20, meanGap: 4, writeFrac: 0.20}}
+		return newStream(base{name: "libquantum", footprint: 4 << 20, meanGap: 4, writeFrac: 0.20}, 0, 0)
 	},
 	// SPLASH-2 fft: butterfly exchanges, strides doubling per stage,
 	// 20% writes (the paper's most write-heavy pick).
@@ -378,11 +511,11 @@ var registry = map[string]func() Generator{
 	},
 	// PARSEC streamcluster: streaming points + tiny hot centers.
 	"streamcluster": func() Generator {
-		return &stream{base: base{name: "streamcluster", footprint: 48 << 20, meanGap: 3, writeFrac: 0.02}, hotBytes: 256 << 10, hotEvery: 5}
+		return newStream(base{name: "streamcluster", footprint: 48 << 20, meanGap: 3, writeFrac: 0.02}, 256<<10, 5)
 	},
 	// SPEC lbm: lattice-Boltzmann streaming with heavy writes.
 	"lbm": func() Generator {
-		return &stream{base: base{name: "lbm", footprint: 64 << 20, meanGap: 2, writeFrac: 0.45}}
+		return newStream(base{name: "lbm", footprint: 64 << 20, meanGap: 2, writeFrac: 0.45}, 0, 0)
 	},
 	// SPEC milc: strided lattice QCD sweeps.
 	"milc": func() Generator {
@@ -405,7 +538,7 @@ var registry = map[string]func() Generator{
 	// SPEC bwaves: blast-wave solver — several large arrays streamed
 	// with heavy writes.
 	"bwaves": func() Generator {
-		return &stream{base: base{name: "bwaves", footprint: 96 << 20, meanGap: 2, writeFrac: 0.30}}
+		return newStream(base{name: "bwaves", footprint: 96 << 20, meanGap: 2, writeFrac: 0.30}, 0, 0)
 	},
 	// SPEC soplex: simplex LP — sparse-matrix row sweeps at varied
 	// strides.
