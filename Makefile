@@ -6,8 +6,9 @@
 GO ?= go
 
 # Packages with real concurrency (worker pool, server, suite fan-out,
-# result cache) — the ones -race can actually catch regressions in.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim
+# result cache, fault injection) — the ones -race can actually catch
+# regressions in. The server list includes the chaos tests.
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).

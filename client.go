@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/maps-sim/mapsim/internal/jobs"
@@ -44,7 +47,13 @@ const (
 	JobCanceled = jobs.StateCanceled
 )
 
-// Client talks to a mapsd daemon.
+// Client talks to a mapsd daemon. Requests that fail transiently —
+// network errors, 429 (shed), 502/503/504 — are retried with
+// exponential backoff and full jitter, honoring any Retry-After the
+// daemon sent. Retrying POST /v1/jobs is safe: the daemon
+// deduplicates submissions by the canonical config hash, so a retry
+// whose first attempt actually landed joins the in-flight job instead
+// of starting a second simulation.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8750".
 	BaseURL string
@@ -52,6 +61,17 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Wait (default 250ms).
 	PollInterval time.Duration
+	// MaxRetries bounds retries per request beyond the first attempt
+	// (default 3; negative disables retrying).
+	MaxRetries int
+	// RetryBase is the backoff scale: attempt n waits a uniformly
+	// random duration in [0, RetryBase<<n] (default 100ms).
+	RetryBase time.Duration
+	// RetryMax caps a single backoff sleep, including server-directed
+	// Retry-After waits (default 5s).
+	RetryMax time.Duration
+
+	retries atomic.Uint64
 }
 
 // NewClient returns a client for the daemon at baseURL.
@@ -70,6 +90,9 @@ func (c *Client) http() *http.Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the daemon's Retry-After hint (zero when absent):
+	// how long it asked the client to back off before retrying.
+	RetryAfter time.Duration
 }
 
 // Error renders the status code and the daemon's error message.
@@ -77,14 +100,109 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("mapsd: %d: %s", e.StatusCode, e.Message)
 }
 
+// Retries returns how many request retries this client has performed,
+// across all calls — each increment is one repeated HTTP attempt after
+// a transient failure.
+func (c *Client) Retries() uint64 {
+	return c.retries.Load()
+}
+
+// retryableStatus reports whether a response status signals a
+// transient condition worth retrying: the daemon shedding load (429)
+// or an intermediary/daemon outage (502/503/504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header: either delay-seconds or
+// an HTTP-date. Returns zero when absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// do runs one API call with retries. The body is marshaled once and
+// replayed per attempt. Attempt n backs off a uniformly random
+// duration in [0, RetryBase<<n] (full jitter — concurrent clients
+// decorrelate instead of retrying in lockstep), except that a
+// server-provided Retry-After is used verbatim; both are capped at
+// RetryMax. Context errors are never retried.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait := c.RetryMax
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.once(ctx, method, path, buf, out)
+		if err == nil || attempt >= maxRetries || ctx.Err() != nil {
+			return err
+		}
+		wait := time.Duration(0)
+		if apiErr, ok := err.(*APIError); ok {
+			if !retryableStatus(apiErr.StatusCode) {
+				return err
+			}
+			wait = apiErr.RetryAfter
+		}
+		if wait == 0 {
+			wait = time.Duration(rand.Int64N(int64(base<<attempt) + 1))
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		c.retries.Add(1)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -103,10 +221,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			Error string `json:"error"`
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		ae := &APIError{StatusCode: resp.StatusCode, Message: string(msg), RetryAfter: parseRetryAfter(resp.Header)}
 		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+			ae.Message = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: string(msg)}
+		return ae
 	}
 	if out == nil {
 		return nil

@@ -1,9 +1,15 @@
 package mapsim_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -166,5 +172,132 @@ func TestClientBenchmarks(t *testing.T) {
 	}
 	if len(names) == 0 {
 		t.Fatal("no benchmarks listed")
+	}
+}
+
+// An already-cancelled context must fail fast from every client call —
+// no HTTP attempt, no retry sleeps, just the context error.
+func TestClientCanceledContext(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := c.Submit(ctx, mapsim.JobRequest{Type: mapsim.JobRun,
+		Config: mapsim.ConfigSpec{Benchmark: "libquantum", Instructions: 50_000}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Submit: %v, want context.Canceled", err)
+	}
+	if _, err := c.Wait(ctx, "j-00000001"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait: %v, want context.Canceled", err)
+	}
+	if _, err := c.Progress(ctx, "j-00000001"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Progress: %v, want context.Canceled", err)
+	}
+	if got := c.Retries(); got != 0 {
+		t.Errorf("retries %d, want 0 (context errors are never retried)", got)
+	}
+}
+
+// Transient statuses are retried until the daemon recovers;
+// non-transient errors are returned on the first attempt.
+func TestClientRetriesTransientStatus(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"j-00000001","state":"done"}`)
+	}))
+	defer stub.Close()
+
+	c := mapsim.NewClient(stub.URL)
+	c.RetryBase = time.Millisecond
+	st, err := c.Job(context.Background(), "j-00000001")
+	if err != nil {
+		t.Fatalf("Job after transient 503s: %v", err)
+	}
+	if st.State != mapsim.JobDone {
+		t.Errorf("state %s, want done", st.State)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("retries %d, want 2", got)
+	}
+
+	// A 404 is not transient: exactly one attempt, no retries.
+	calls.Store(100)
+	c2 := mapsim.NewClient(stub.URL)
+	c2.RetryBase = time.Millisecond
+	stub.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	})
+	if _, err := c2.Job(context.Background(), "j-00000002"); err == nil {
+		t.Fatal("want 404 error")
+	}
+	if got := c2.Retries(); got != 0 {
+		t.Errorf("retries %d, want 0 for 404", got)
+	}
+}
+
+// The idempotency acceptance test: a flaky proxy forwards the client's
+// first POST to the daemon — so the job lands — but reports 503, making
+// the client retry a submission that already succeeded. Server-side
+// dedup (canonical config hash) must coalesce the retry onto the
+// existing job: one simulation runs, not two.
+func TestClientRetryIdempotentSubmit(t *testing.T) {
+	c, srv := startDaemon(t)
+	daemonURL, err := url.Parse(c.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passthrough := httputil.NewSingleHostReverseProxy(daemonURL)
+
+	var dropped atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && !dropped.Swap(true) {
+			// Deliver the submission, then pretend the response was lost.
+			body, _ := io.ReadAll(r.Body)
+			resp, err := http.Post(c.BaseURL+r.URL.Path, r.Header.Get("Content-Type"), bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("proxy forward: %v", err)
+			} else {
+				resp.Body.Close()
+			}
+			http.Error(w, `{"error":"response lost by chaos proxy"}`, http.StatusServiceUnavailable)
+			return
+		}
+		passthrough.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	flaky := mapsim.NewClient(proxy.URL)
+	flaky.RetryBase = time.Millisecond
+	flaky.PollInterval = 5 * time.Millisecond
+
+	ctx := context.Background()
+	st, err := flaky.Submit(ctx, mapsim.JobRequest{
+		Type: mapsim.JobRun,
+		// Long-running, so the first submission is still in flight when
+		// the retry arrives and singleflight can coalesce them.
+		Config: mapsim.ConfigSpec{Benchmark: "libquantum", Instructions: 2_000_000_000},
+	})
+	if err != nil {
+		t.Fatalf("Submit through flaky proxy: %v", err)
+	}
+	defer flaky.Cancel(ctx, st.ID)
+
+	if got := flaky.Retries(); got != 1 {
+		t.Errorf("client retries %d, want 1", got)
+	}
+	if !st.Deduped {
+		t.Error("retried submission not marked deduped")
+	}
+	if got := srv.Deduped(); got != 1 {
+		t.Errorf("server dedup count %d, want 1 (retry coalesced)", got)
+	}
+	if got := srv.PoolStats().Submitted; got != 1 {
+		t.Errorf("pool submissions %d, want 1 — the retry must not start a second simulation", got)
 	}
 }

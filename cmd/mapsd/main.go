@@ -7,19 +7,28 @@
 // Usage:
 //
 //	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
-//	      [-log-format text|json] [-v] [-pprof]
+//	      [-log-format text|json] [-v] [-pprof] [-faults SPEC]
 //
 // Endpoints (see internal/server and docs/OBSERVABILITY.md):
 //
 //	POST   /v1/jobs             GET /v1/jobs/{id}[/result|/progress]
 //	DELETE /v1/jobs/{id}        GET /v1/benchmarks /v1/experiments
-//	GET    /metrics             GET /healthz
+//	GET    /metrics             GET /healthz /readyz
 //	GET    /debug/pprof/        (only with -pprof)
+//
+// /healthz answers 200 while the process lives; /readyz answers 503
+// while the daemon is draining or its queue is saturated, so load
+// balancers stop routing before requests start being shed.
 //
 // Logs are structured (log/slog) on stderr; -log-format json emits
 // one JSON object per line, -v adds Debug-level span and scrape
-// events. On SIGINT/SIGTERM the daemon stops accepting work, drains
-// running and queued jobs (bounded by -drain-timeout), and exits.
+// events. On SIGINT/SIGTERM the daemon marks itself unready, stops
+// accepting work, drains running and queued jobs (bounded by
+// -drain-timeout), and exits.
+//
+// -faults (default: the MAPSD_FAULTS environment variable) arms
+// deterministic fault injection for chaos drills, e.g.
+// "jobs.run:err:0.01,results.put:err:0.05" — see docs/ROBUSTNESS.md.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/server"
 )
@@ -47,12 +57,22 @@ func main() {
 	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
 	verbose := flag.Bool("v", false, "verbose logging (Debug level: spans, scrapes)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	faultSpec := flag.String("faults", os.Getenv("MAPSD_FAULTS"),
+		"fault-injection spec, e.g. point:mode[:rate],... (default $MAPSD_FAULTS)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mapsd: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *faultSpec != "" {
+		if err := faults.ArmSpec(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "mapsd: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Warn("fault injection armed", "points", faults.Armed(), "spec", *faultSpec)
 	}
 
 	srv := server.New(server.Config{
@@ -62,10 +82,17 @@ func main() {
 		Logger:       logger,
 		EnablePprof:  *withPprof,
 	})
+	// Timeouts bound every connection phase so one stalled client
+	// cannot pin a goroutine: headers in 10s, the whole request in
+	// 30s, responses written within 60s (suite results are large but
+	// bounded), idle keep-alives reaped after 2 minutes.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	errCh := make(chan error, 1)
@@ -91,8 +118,10 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop intake first so drains can't be outrun by new submissions,
-	// then let running and queued jobs finish.
+	// Flip readiness first — probes see 503 and load balancers stop
+	// routing — then stop intake so drains can't be outrun by new
+	// submissions, then let running and queued jobs finish.
+	srv.MarkDraining()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("http shutdown", "error", err)
 	}

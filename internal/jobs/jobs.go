@@ -11,11 +11,19 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/obs"
 )
+
+// faultRun is the injection point armed (as "jobs.run") to make job
+// executions fail, stall, or panic. It is hit inside the recovery
+// envelope, so an injected panic exercises the same isolation path an
+// organic one would.
+var faultRun = faults.P("jobs.run")
 
 // State is a job's lifecycle position. Transitions only move
 // rightward: queued → running → {done, failed, canceled}; a queued
@@ -56,7 +64,48 @@ func IDFromContext(ctx context.Context) string {
 var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrShutdown  = errors.New("jobs: pool is shut down")
+	// ErrDraining rejects submissions once Shutdown has begun: the pool
+	// is completing queued and running work but accepts nothing new. It
+	// wraps ErrShutdown, so errors.Is(err, ErrShutdown) keeps matching.
+	ErrDraining = fmt.Errorf("jobs: pool is draining: %w", ErrShutdown)
 )
+
+// ErrPanic marks a job whose function panicked. The worker recovers,
+// records the stack, and fails the job with an error wrapping this
+// sentinel; the panic never escapes the pool.
+var ErrPanic = errors.New("jobs: job panicked")
+
+// transientError marks an error as retryable; see Transient.
+type transientError struct{ err error }
+
+// Error delegates to the wrapped error.
+func (e *transientError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks the error retryable.
+func (e *transientError) Transient() bool { return true }
+
+// Transient wraps err so IsTransient reports true: a job function
+// returns Transient(err) for failures worth retrying (a flaky
+// dependency, an injected fault) as opposed to deterministic ones (a
+// bad config would fail identically every attempt). A nil err stays
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err — anywhere in its wrap chain —
+// carries a `Transient() bool` method returning true. Both
+// jobs.Transient wrappers and faults.InjectedError satisfy it.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
 
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("jobs: no such job")
@@ -96,6 +145,12 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`
 	Canceled  uint64 `json:"canceled"`
 	Rejected  uint64 `json:"rejected"`
+	// Panics counts job functions that panicked (each attempt of a
+	// retried job counts once). The worker survives every one.
+	Panics uint64 `json:"panics"`
+	// Retries counts re-executions of jobs whose function returned a
+	// transient error with retry budget remaining.
+	Retries uint64 `json:"retries"`
 }
 
 // Pool runs jobs on a fixed set of workers.
@@ -110,6 +165,10 @@ type Pool struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 	log     *slog.Logger
+
+	// Retry policy for transient job failures (see WithRetry).
+	maxRetries int
+	retryBase  time.Duration
 }
 
 // Option configures a Pool at construction time.
@@ -127,6 +186,23 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithRetry sets the retry policy for jobs whose function fails with
+// a transient error (IsTransient): up to maxRetries re-executions with
+// exponential backoff starting at base (doubling per attempt). A
+// negative maxRetries disables retries; base ≤ 0 keeps the default.
+// Without this option the pool retries twice starting at 50ms.
+func WithRetry(maxRetries int, base time.Duration) Option {
+	return func(p *Pool) {
+		if maxRetries < 0 {
+			maxRetries = 0
+		}
+		p.maxRetries = maxRetries
+		if base > 0 {
+			p.retryBase = base
+		}
+	}
+}
+
 // New starts a pool with the given worker count and queue depth
 // (both clamped to ≥ 1).
 func New(workers, depth int, opts ...Option) *Pool {
@@ -138,11 +214,13 @@ func New(workers, depth int, opts ...Option) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, depth),
-		baseCtx: ctx,
-		stopAll: cancel,
-		log:     obs.Nop(),
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, depth),
+		baseCtx:    ctx,
+		stopAll:    cancel,
+		log:        obs.Nop(),
+		maxRetries: 2,
+		retryBase:  50 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(p)
@@ -158,12 +236,14 @@ func New(workers, depth int, opts ...Option) *Pool {
 
 // Submit enqueues fn, returning the new job's ID. A zero timeout
 // means no per-job deadline. Returns ErrQueueFull when the queue is
-// at capacity and ErrShutdown after Shutdown has begun.
+// at capacity and ErrDraining once Shutdown has begun. The drain
+// check and the enqueue happen under one lock, so a submission can
+// never race into a closing queue.
 func (p *Pool) Submit(fn Fn, timeout time.Duration) (string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return "", ErrShutdown
+		return "", ErrDraining
 	}
 	p.seq++
 	j := &job{
@@ -198,7 +278,7 @@ func (p *Pool) Complete(result any) (string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return "", ErrShutdown
+		return "", ErrDraining
 	}
 	p.seq++
 	now := time.Now()
@@ -249,6 +329,15 @@ func (p *Pool) Cancel(id string) error {
 		j.cancel() // worker observes ctx and finishes the job
 	}
 	return nil
+}
+
+// Draining reports whether Shutdown has begun: the pool still
+// finishes queued and running jobs but rejects new submissions.
+// Readiness probes use it to take a draining instance out of rotation.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done,
@@ -328,7 +417,33 @@ func (p *Pool) runOne(j *job) {
 		"queue_depth", p.stats.Queued)
 	p.mu.Unlock()
 
-	result, err := j.fn(ctx)
+	var result any
+	var err error
+	for attempt := 0; ; attempt++ {
+		result, err = p.invoke(ctx, j)
+		if err == nil || !IsTransient(err) || attempt >= p.maxRetries || ctx.Err() != nil {
+			break
+		}
+		backoff := p.retryBase << attempt
+		p.mu.Lock()
+		p.stats.Retries++
+		p.mu.Unlock()
+		p.log.Warn("job retrying",
+			"job_id", j.snap.ID,
+			"attempt", attempt+1,
+			"backoff", backoff,
+			"error", err.Error())
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled (or timed out) mid-backoff: finish as canceled
+			// rather than burning another attempt.
+			err = cerr
+			break
+		}
+	}
 	cancel()
 
 	p.mu.Lock()
@@ -342,6 +457,32 @@ func (p *Pool) runOne(j *job) {
 		p.finishLocked(j, StateFailed, nil, err)
 	}
 	p.mu.Unlock()
+}
+
+// invoke runs one attempt of the job function inside a recovery
+// envelope: a panic is caught here — the worker goroutine survives —
+// recorded with its stack, and converted into an error wrapping
+// ErrPanic. The jobs.run fault point fires inside the envelope, so
+// injected panics take the identical path.
+func (p *Pool) invoke(ctx context.Context, j *job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			p.mu.Lock()
+			p.stats.Panics++
+			p.mu.Unlock()
+			p.log.Error("job panicked; worker recovered",
+				"job_id", j.snap.ID,
+				"panic", fmt.Sprint(r),
+				"stack", string(stack))
+			result = nil
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	if err := faultRun.Hit(); err != nil {
+		return nil, err
+	}
+	return j.fn(ctx)
 }
 
 // finishLocked moves j to a terminal state. Caller holds p.mu.

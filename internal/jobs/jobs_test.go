@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/maps-sim/mapsim/internal/faults"
 )
 
 func TestSubmitRunsToCompletion(t *testing.T) {
@@ -203,5 +206,206 @@ func TestGetUnknown(t *testing.T) {
 	}
 	if err := p.Cancel("j-missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+// A panicking job must fail cleanly — stack captured, panic counted —
+// while the worker goroutine survives to run the next job.
+func TestPanicIsolatedAndCounted(t *testing.T) {
+	p := New(1, 2)
+	defer p.Shutdown(context.Background())
+	id, err := p.Submit(func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateFailed {
+		t.Fatalf("state %s, want failed", snap.State)
+	}
+	if !strings.Contains(snap.Err, "kaboom") || !strings.Contains(snap.Err, "panicked") {
+		t.Fatalf("error %q does not describe the panic", snap.Err)
+	}
+	s := p.Stats()
+	if s.Panics != 1 {
+		t.Fatalf("panics %d, want 1", s.Panics)
+	}
+	if s.Retries != 0 {
+		t.Fatalf("retries %d; panics must not be retried", s.Retries)
+	}
+	// The single worker is still alive: a follow-up job completes.
+	id2, _ := p.Submit(func(ctx context.Context) (any, error) { return "alive", nil }, 0)
+	snap2, _ := p.Wait(context.Background(), id2)
+	if snap2.State != StateDone || snap2.Result.(string) != "alive" {
+		t.Fatalf("worker dead after panic: %+v", snap2)
+	}
+}
+
+// A transiently failing job is retried with backoff and eventually
+// succeeds; the retry counter accounts every re-execution.
+func TestTransientRetrySucceeds(t *testing.T) {
+	p := New(1, 1, WithRetry(3, time.Millisecond))
+	defer p.Shutdown(context.Background())
+	var attempts atomic.Int32
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		if attempts.Add(1) <= 2 {
+			return nil, Transient(fmt.Errorf("blip %d", attempts.Load()))
+		}
+		return "ok", nil
+	}, 0)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateDone || snap.Result.(string) != "ok" {
+		t.Fatalf("snap: %+v", snap)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts %d, want 3", got)
+	}
+	if s := p.Stats(); s.Retries != 2 || s.Failed != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// When every attempt fails transiently the job fails after exhausting
+// its budget: maxRetries re-executions, then the final error sticks.
+func TestTransientRetryExhausts(t *testing.T) {
+	p := New(1, 1, WithRetry(2, time.Millisecond))
+	defer p.Shutdown(context.Background())
+	var attempts atomic.Int32
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		attempts.Add(1)
+		return nil, Transient(errors.New("always down"))
+	}, 0)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateFailed {
+		t.Fatalf("state %s, want failed", snap.State)
+	}
+	if got := attempts.Load(); got != 3 { // 1 try + 2 retries
+		t.Fatalf("attempts %d, want 3", got)
+	}
+	if s := p.Stats(); s.Retries != 2 {
+		t.Fatalf("retries %d, want 2", s.Retries)
+	}
+}
+
+// Non-transient failures fail fast: one attempt, no backoff.
+func TestNonTransientNotRetried(t *testing.T) {
+	p := New(1, 1, WithRetry(5, time.Millisecond))
+	defer p.Shutdown(context.Background())
+	var attempts atomic.Int32
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		attempts.Add(1)
+		return nil, errors.New("deterministic failure")
+	}, 0)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateFailed || attempts.Load() != 1 {
+		t.Fatalf("state %s after %d attempts, want failed after 1", snap.State, attempts.Load())
+	}
+	if s := p.Stats(); s.Retries != 0 {
+		t.Fatalf("retries %d, want 0", s.Retries)
+	}
+}
+
+// IsTransient must see through wrap chains and reject everything else.
+func TestIsTransient(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error is transient")
+	}
+	if !IsTransient(Transient(errors.New("blip"))) {
+		t.Error("Transient() not transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", Transient(errors.New("blip")))) {
+		t.Error("wrapped transient not detected")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+// Once Shutdown has begun, Submit and Complete must reject with the
+// typed ErrDraining (which still matches ErrShutdown for old callers).
+func TestSubmitDuringDrainErrDraining(t *testing.T) {
+	p := New(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}, 0)
+	<-started
+	done := make(chan struct{})
+	go func() {
+		p.Shutdown(context.Background())
+		close(done)
+	}()
+	// Wait for the drain to begin.
+	for deadline := time.Now().Add(5 * time.Second); !p.Draining(); {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit during drain: %v, want ErrDraining", err)
+	}
+	if _, err := p.Complete("x"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Complete during drain: %v, want ErrDraining", err)
+	}
+	if _, err := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0); !errors.Is(err, ErrShutdown) {
+		t.Fatal("ErrDraining must keep matching ErrShutdown")
+	}
+	close(block)
+	<-done
+	if !p.Draining() {
+		t.Error("drained pool not reported as draining")
+	}
+}
+
+// The jobs.run fault point injects inside the recovery envelope: an
+// injected error is transient (retried), an injected panic is isolated.
+func TestJobsRunFaultPoint(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	if err := faults.P("jobs.run").Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(1, 1, WithRetry(1, time.Millisecond))
+	defer p.Shutdown(context.Background())
+	var ran atomic.Int32
+	id, _ := p.Submit(func(ctx context.Context) (any, error) {
+		ran.Add(1)
+		return nil, nil
+	}, 0)
+	snap, _ := p.Wait(context.Background(), id)
+	if snap.State != StateFailed || !strings.Contains(snap.Err, "injected") {
+		t.Fatalf("snap: %+v", snap)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("fault fired but the job function still ran")
+	}
+	if s := p.Stats(); s.Retries != 1 {
+		t.Fatalf("injected errors must be retried as transient: %+v", s)
+	}
+	if got := faults.P("jobs.run").Fired(); got != 2 { // initial attempt + 1 retry
+		t.Fatalf("fired %d, want 2", got)
+	}
+
+	faults.Reset()
+	if err := faults.P("jobs.run").Arm(faults.Injection{Mode: faults.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0)
+	snap2, _ := p.Wait(context.Background(), id2)
+	if snap2.State != StateFailed || !strings.Contains(snap2.Err, "panicked") {
+		t.Fatalf("snap: %+v", snap2)
+	}
+	faults.Reset()
+	// Worker survived the injected panic.
+	id3, _ := p.Submit(func(ctx context.Context) (any, error) { return 7, nil }, 0)
+	if snap3, _ := p.Wait(context.Background(), id3); snap3.State != StateDone {
+		t.Fatalf("worker dead after injected panic: %+v", snap3)
 	}
 }

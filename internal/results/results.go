@@ -29,8 +29,15 @@ import (
 	"math"
 	"sync"
 
+	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/sim"
 )
+
+// faultPut is the injection point armed (as "results.put") to make
+// cache stores fail: the write is dropped, so the service keeps
+// working but re-simulates what it could not remember — the graceful
+// degradation a real cache-backend outage would cause.
+var faultPut = faults.P("results.put")
 
 // Key is a content address: hex-encoded SHA-256 of the canonical
 // configuration encoding.
@@ -139,8 +146,11 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	// DroppedPuts counts stores abandoned by an armed results.put
+	// fault — writes the cache "lost" during fault injection.
+	DroppedPuts uint64 `json:"dropped_puts"`
+	Entries     int    `json:"entries"`
+	Capacity    int    `json:"capacity"`
 }
 
 // HitRatio returns Hits / (Hits + Misses), zero when idle.
@@ -197,7 +207,16 @@ func (c *Cache) Get(key Key) (any, bool) {
 
 // Put stores value under key, evicting the least recently used entry
 // when full. Storing an existing key refreshes its value and recency.
+// An armed results.put fault drops the write (counted in
+// Stats.DroppedPuts): callers never see an error, they just lose the
+// caching — the same contract a best-effort external cache would have.
 func (c *Cache) Put(key Key, value any) {
+	if err := faultPut.Hit(); err != nil {
+		c.mu.Lock()
+		c.stats.DroppedPuts++
+		c.mu.Unlock()
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {

@@ -1,0 +1,304 @@
+package server
+
+// Chaos tests: arm the fault-injection points (internal/faults) under
+// a live server and assert the system's invariants hold — workers
+// survive every injected panic, every accepted job reaches a terminal
+// state, and the metrics account for every fault fired. Rate-1.0
+// phases check exact counts; the mixed fractional-rate phase checks
+// the structural invariants that must hold regardless of scheduling.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/faults"
+	"github.com/maps-sim/mapsim/internal/jobs"
+)
+
+// chaosServer builds a server with fast retries and registers cleanup
+// that disarms and zeroes every fault point, so chaos state can never
+// leak into other tests.
+func chaosServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	faults.Reset()
+	t.Cleanup(faults.Reset)
+	return newTestServer(t, cfg)
+}
+
+// submitDistinct posts n distinct uncacheable run jobs (the seed field
+// varies, so no two share a canonical hash) and returns their IDs.
+func submitDistinct(t *testing.T, ts *httptest.Server, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(
+			`{"type":"run","no_cache":true,"config":{"benchmark":"libquantum","instructions":50000,"seed":%d}}`, i+1)
+		st, resp := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	return ids
+}
+
+// healthyJobSucceeds proves the workers survived a chaos phase: with
+// everything disarmed, a fresh job must complete normally.
+func healthyJobSucceeds(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	faults.DisarmAll()
+	st, resp := postJob(t, ts, `{"type":"run","no_cache":true,"config":{"benchmark":"libquantum","instructions":50000,"seed":424242}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy submit after chaos: %d", resp.StatusCode)
+	}
+	if final := waitDone(t, ts, st.ID); final.State != jobs.StateDone {
+		t.Fatalf("healthy job after chaos: %s (%s), want done — workers did not survive", final.State, final.Error)
+	}
+}
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}
+
+// Every job function panics; every panic must be isolated, counted,
+// and turned into a failed job — and the workers must all survive.
+func TestChaosPanicStorm(t *testing.T) {
+	s, ts := chaosServer(t, Config{Workers: 2, QueueDepth: 32})
+	faults.Seed(42)
+	if err := faults.P("jobs.run").Arm(faults.Injection{Mode: faults.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	for _, id := range submitDistinct(t, ts, n) {
+		final := waitDone(t, ts, id)
+		if final.State != jobs.StateFailed {
+			t.Errorf("job %s: %s, want failed", id, final.State)
+		}
+		if !strings.Contains(final.Error, "panic") {
+			t.Errorf("job %s error %q, want panic marker", id, final.Error)
+		}
+	}
+
+	stats := s.PoolStats()
+	if stats.Panics != n {
+		t.Errorf("panics %d, want %d", stats.Panics, n)
+	}
+	if stats.Failed != n {
+		t.Errorf("failed %d, want %d", stats.Failed, n)
+	}
+	if stats.Retries != 0 {
+		t.Errorf("retries %d, want 0 (panics are not retried)", stats.Retries)
+	}
+	if fired := faults.P("jobs.run").Fired(); fired != n {
+		t.Errorf("fired %d, want %d", fired, n)
+	}
+	healthyJobSucceeds(t, ts)
+}
+
+// Every job function returns a transient error; the pool must burn its
+// whole retry budget on each job, and the fired/retry/failure counts
+// must reconcile exactly.
+func TestChaosTransientErrExhaustion(t *testing.T) {
+	const n, retries = 4, 2
+	s, ts := chaosServer(t, Config{
+		Workers: 2, QueueDepth: 32,
+		JobRetries: retries, JobRetryBase: time.Millisecond,
+	})
+	faults.Seed(7)
+	if err := faults.P("jobs.run").Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range submitDistinct(t, ts, n) {
+		final := waitDone(t, ts, id)
+		if final.State != jobs.StateFailed {
+			t.Errorf("job %s: %s, want failed", id, final.State)
+		}
+		if !strings.Contains(final.Error, "injected") {
+			t.Errorf("job %s error %q, want injected marker", id, final.Error)
+		}
+	}
+
+	stats := s.PoolStats()
+	attempts := uint64(n * (retries + 1))
+	if fired := faults.P("jobs.run").Fired(); fired != attempts {
+		t.Errorf("fired %d, want %d (every attempt injects)", fired, attempts)
+	}
+	if want := uint64(n * retries); stats.Retries != want {
+		t.Errorf("retries %d, want %d", stats.Retries, want)
+	}
+	if stats.Panics != 0 {
+		t.Errorf("panics %d, want 0", stats.Panics)
+	}
+
+	// The metrics endpoint must account for every fault and retry.
+	text := metricsText(t, ts)
+	for _, want := range []string{
+		fmt.Sprintf(`mapsd_faults_injected_total{point="jobs.run"} %d`, attempts),
+		fmt.Sprintf("mapsd_jobs_retries_total %d", n*retries),
+		fmt.Sprintf("mapsd_jobs_failed_total %d", n),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	healthyJobSucceeds(t, ts)
+}
+
+// Cache writes fail; jobs must still complete (the service degrades to
+// re-simulating instead of erroring) and the dropped writes are counted.
+func TestChaosCacheWriteOutage(t *testing.T) {
+	s, ts := chaosServer(t, Config{Workers: 1})
+	if err := faults.P("results.put").Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+
+	const body = `{"type":"run","config":{"benchmark":"fft","instructions":50000}}`
+	st, _ := postJob(t, ts, body)
+	if final := waitDone(t, ts, st.ID); final.State != jobs.StateDone {
+		t.Fatalf("job with cache outage: %s, want done", final.State)
+	}
+	if got := s.CacheStats().DroppedPuts; got == 0 {
+		t.Error("dropped puts 0, want > 0")
+	}
+	// The write was dropped, so an identical resubmission re-simulates
+	// (no cache hit) — and still succeeds.
+	st2, _ := postJob(t, ts, body)
+	if st2.CacheHit {
+		t.Error("cache hit after dropped put")
+	}
+	if final := waitDone(t, ts, st2.ID); final.State != jobs.StateDone {
+		t.Errorf("resubmission: %s, want done", final.State)
+	}
+	if !strings.Contains(metricsText(t, ts), "mapsd_cache_dropped_puts_total") {
+		t.Error("metrics missing mapsd_cache_dropped_puts_total")
+	}
+}
+
+// A fault deep in the simulation loop (checked at cancellation
+// checkpoints) surfaces as a failed job without touching the worker.
+func TestChaosSimStepFault(t *testing.T) {
+	_, ts := chaosServer(t, Config{Workers: 1, JobRetries: -1})
+	if err := faults.P("sim.step").Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Instructions must exceed the simulator's checkpoint interval
+	// (64Ki) or the fault point is never reached.
+	st, _ := postJob(t, ts, `{"type":"run","no_cache":true,"config":{"benchmark":"libquantum","instructions":200000}}`)
+	final := waitDone(t, ts, st.ID)
+	if final.State != jobs.StateFailed {
+		t.Fatalf("sim fault job: %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "injected") {
+		t.Errorf("error %q, want injected marker", final.Error)
+	}
+	if fired := faults.P("sim.step").Fired(); fired != 1 {
+		t.Errorf("sim.step fired %d, want 1 (retries disabled)", fired)
+	}
+	healthyJobSucceeds(t, ts)
+}
+
+// Submit handler latency injection: delays slow the request but never
+// fail it.
+func TestChaosSubmitDelay(t *testing.T) {
+	_, ts := chaosServer(t, Config{Workers: 1})
+	if err := faults.P("server.submit").Arm(faults.Injection{
+		Mode: faults.ModeDelay, Delay: 10 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st, resp := postJob(t, ts, smallRun)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delayed submit: %d", resp.StatusCode)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("submit took %v, want >= 10ms (delay injected)", d)
+	}
+	if final := waitDone(t, ts, st.ID); final.State != jobs.StateDone {
+		t.Errorf("delayed job: %s, want done", final.State)
+	}
+}
+
+// The everything-at-once phase: fractional error rates on the job
+// path and the cache plus latency on submit, many jobs in flight.
+// Exact per-job outcomes depend on scheduling, but the structural
+// invariants cannot: every accepted job terminal, no worker death,
+// and the books balance (every injected jobs.run error is either
+// retried or ends a job).
+func TestChaosMixedInvariants(t *testing.T) {
+	const n, retries = 24, 2
+	s, ts := chaosServer(t, Config{
+		Workers: 4, QueueDepth: 64,
+		JobRetries: retries, JobRetryBase: time.Millisecond,
+	})
+	faults.Seed(123)
+	if err := faults.ArmSpec("jobs.run:err:0.3,results.put:err:0.5,server.submit:delay=1ms:0.2"); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := submitDistinct(t, ts, n)
+	var done, failed int
+	for _, id := range ids {
+		final := waitDone(t, ts, id)
+		switch final.State {
+		case jobs.StateDone:
+			done++
+		case jobs.StateFailed:
+			failed++
+			if !strings.Contains(final.Error, "injected") {
+				t.Errorf("job %s failed with %q, want injected error", id, final.Error)
+			}
+		default:
+			t.Errorf("job %s not terminal-done/failed: %s", id, final.State)
+		}
+	}
+	if done+failed != n {
+		t.Fatalf("done %d + failed %d != %d submitted", done, failed, n)
+	}
+
+	stats := s.PoolStats()
+	if stats.Queued != 0 || stats.Running != 0 {
+		t.Errorf("pool not quiescent: %d queued, %d running", stats.Queued, stats.Running)
+	}
+	if stats.Submitted != n {
+		t.Errorf("submitted %d, want %d", stats.Submitted, n)
+	}
+	if stats.Failed != uint64(failed) {
+		t.Errorf("pool failed %d, observed %d", stats.Failed, failed)
+	}
+	// Every injected jobs.run error was either retried (budget left)
+	// or terminal (budget exhausted) — and nothing else fails jobs.
+	if fired := faults.P("jobs.run").Fired(); fired != stats.Retries+stats.Failed {
+		t.Errorf("jobs.run fired %d != retries %d + failed %d",
+			fired, stats.Retries, stats.Failed)
+	}
+	if max := uint64(n * retries); stats.Retries > max {
+		t.Errorf("retries %d exceed budget %d", stats.Retries, max)
+	}
+
+	// Metrics must reconcile with the authoritative counters.
+	text := metricsText(t, ts)
+	for point, count := range faults.Snapshot() {
+		want := fmt.Sprintf(`mapsd_faults_injected_total{point=%q} %d`, point, count)
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	healthyJobSucceeds(t, ts)
+}

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -78,6 +80,29 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 			"bytes", rec.bytes,
 			"duration", time.Since(start),
 			"remote", r.RemoteAddr)
+	})
+}
+
+// recoverMiddleware isolates handler panics: the stack is logged, the
+// mapsd_http_panics_total counter bumps, and the client gets a 500 —
+// one request dies, not the connection's goroutine state or the
+// daemon. (net/http would survive the panic too, but with a dropped
+// connection and no accounting.) Headers may already be on the wire
+// when the panic lands, in which case the error body is best-effort.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.httpPanics.Add(1)
+				s.log.Error("handler panicked; request isolated",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()))
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 

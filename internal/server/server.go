@@ -11,26 +11,36 @@
 //	GET    /v1/experiments        list experiment harnesses
 //	GET    /metrics               Prometheus-style counters, no deps
 //	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 while draining/saturated)
 //	GET    /debug/pprof/          profiling (only with Config.EnablePprof)
 //
 // Submission consults the result cache first: a request whose
 // canonical config hash is already cached gets a job that is born
 // done, carrying the cached result — the simulator never runs.
+//
+// Overload and shutdown degrade gracefully rather than falling over
+// (docs/ROBUSTNESS.md): a full queue sheds the submission with 429 +
+// Retry-After, a draining pool answers 503, request bodies are capped,
+// and a panicking handler or job is isolated and counted, never fatal.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/maps-sim/mapsim/internal/experiments"
+	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
@@ -38,12 +48,26 @@ import (
 	"github.com/maps-sim/mapsim/internal/workload"
 )
 
+// faultSubmit is the injection point armed (as "server.submit") to
+// make the submit handler fail or stall before touching the pool —
+// the place a flaky ingress or auth dependency would bite.
+var faultSubmit = faults.P("server.submit")
+
+// retryAfterShed is the Retry-After hint (seconds) on a 429 shed
+// response: roughly how long one queued simulation takes to start.
+const retryAfterShed = 1
+
+// retryAfterDraining is the Retry-After hint (seconds) on a 503 from
+// a draining instance — long enough for an LB to fail the next poll
+// over to a healthy one.
+const retryAfterDraining = 5
+
 // Config sizes the service.
 type Config struct {
 	// Workers is the simulation worker count (default NumCPU).
 	Workers int
-	// QueueDepth bounds the backlog; submissions beyond it get 503
-	// (default 64).
+	// QueueDepth bounds the backlog; submissions beyond it are shed
+	// with 429 + Retry-After (default 64).
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
@@ -53,6 +77,15 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// API mux. Off by default: the daemon may face untrusted clients.
 	EnablePprof bool
+	// MaxBodyBytes caps request bodies via http.MaxBytesReader
+	// (default 1 MiB — generous for a job spec, stingy for a flood).
+	MaxBodyBytes int64
+	// JobRetries is the per-job retry budget for transient failures
+	// (default 2; negative disables retries).
+	JobRetries int
+	// JobRetryBase is the first retry backoff, doubling per attempt
+	// (default 50ms).
+	JobRetryBase time.Duration
 }
 
 func (c *Config) fill() {
@@ -64,6 +97,15 @@ func (c *Config) fill() {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.JobRetries == 0 {
+		c.JobRetries = 2
+	}
+	if c.JobRetryBase <= 0 {
+		c.JobRetryBase = 50 * time.Millisecond
 	}
 }
 
@@ -95,6 +137,12 @@ type Server struct {
 	inflight map[results.Key]string
 	deduped  atomic.Uint64
 
+	// Robustness accounting and state.
+	maxBody    int64
+	shed       atomic.Uint64 // submissions refused with 429 (queue full)
+	httpPanics atomic.Uint64 // handler panics recovered by the middleware
+	draining   atomic.Bool   // readiness gate; set by MarkDraining/Shutdown
+
 	// Throughput accounting across finished simulations.
 	instrTotal atomic.Uint64
 	busyNanos  atomic.Int64
@@ -115,7 +163,9 @@ func New(cfg Config) *Server {
 		log = obs.Nop()
 	}
 	s := &Server{
-		pool:      jobs.New(cfg.Workers, cfg.QueueDepth, jobs.WithLogger(log)),
+		pool: jobs.New(cfg.Workers, cfg.QueueDepth,
+			jobs.WithLogger(log),
+			jobs.WithRetry(cfg.JobRetries, cfg.JobRetryBase)),
 		cache:     results.New(cfg.CacheEntries),
 		mux:       http.NewServeMux(),
 		log:       log,
@@ -123,6 +173,7 @@ func New(cfg Config) *Server {
 		inflight:  make(map[results.Key]string),
 		started:   time.Now(),
 		phaseSecs: make(map[string]float64),
+		maxBody:   cfg.MaxBodyBytes,
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -135,6 +186,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -142,7 +194,7 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.logMiddleware(s.mux)
+	s.handler = s.logMiddleware(s.recoverMiddleware(s.mux))
 	return s
 }
 
@@ -150,10 +202,36 @@ func New(cfg Config) *Server {
 // request-logging middleware).
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// MarkDraining flips /readyz to 503 without stopping anything: call
+// it when shutdown is imminent so load balancers stop routing new
+// work here while in-flight requests finish.
+func (s *Server) MarkDraining() { s.draining.Store(true) }
+
 // Shutdown drains the pool: queued and running jobs complete unless
-// ctx expires first, in which case they are cancelled.
+// ctx expires first, in which case they are cancelled. Readiness goes
+// false immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	return s.pool.Shutdown(ctx)
+}
+
+// handleReady is the readiness probe: 200 only when the instance can
+// usefully accept a new job. Draining (shutdown imminent) or a
+// saturated queue (the next submit would be shed anyway) answer 503,
+// taking the instance out of load-balancer rotation while /healthz
+// keeps reporting the process itself alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ps := s.pool.Stats()
+	switch {
+	case s.draining.Load() || s.pool.Draining():
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case ps.Queued >= ps.QueueCap:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterShed))
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+	default:
+		w.Write([]byte("ready\n"))
+	}
 }
 
 // CacheStats exposes the result-cache counters (tests and metrics).
@@ -161,6 +239,15 @@ func (s *Server) CacheStats() results.Stats { return s.cache.Stats() }
 
 // PoolStats exposes the job-pool counters.
 func (s *Server) PoolStats() jobs.Stats { return s.pool.Stats() }
+
+// Deduped returns how many submissions were coalesced onto an
+// identical in-flight job (singleflight) — the counter that proves a
+// retried submit did not double-run.
+func (s *Server) Deduped() uint64 { return s.deduped.Load() }
+
+// ShedCount returns how many submissions were refused with 429
+// because the queue was saturated.
+func (s *Server) ShedCount() uint64 { return s.shed.Load() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -175,10 +262,24 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := faultSubmit.Hit(); err != nil {
+		// An injected submit failure is reported like any transient
+		// dependency outage: unavailable, try again shortly.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterShed))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req JobRequest
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -237,6 +338,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if cached, ok := s.cache.Get(key); ok {
 			id, err := s.pool.Complete(cached)
 			if err != nil {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
 				writeError(w, http.StatusServiceUnavailable, "%v", err)
 				return
 			}
@@ -260,9 +362,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id, err := s.pool.Submit(fn, timeout)
-	switch err {
-	case nil:
-	case jobs.ErrQueueFull, jobs.ErrShutdown:
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrQueueFull):
+		// Load shedding: refuse early with back-pressure the client
+		// can act on, instead of queueing work we cannot start.
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterShed))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrShutdown): // includes ErrDraining
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	default:
@@ -508,10 +618,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_canceled_total counter\nmapsd_jobs_canceled_total %d\n", ps.Canceled)
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_rejected_total counter\nmapsd_jobs_rejected_total %d\n", ps.Rejected)
 	fmt.Fprintf(w, "# TYPE mapsd_jobs_deduped_total counter\nmapsd_jobs_deduped_total %d\n", s.deduped.Load())
+	fmt.Fprintf(w, "# HELP mapsd_jobs_panics_total Job functions that panicked; every one was isolated by the worker.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_panics_total counter\nmapsd_jobs_panics_total %d\n", ps.Panics)
+	fmt.Fprintf(w, "# TYPE mapsd_jobs_retries_total counter\nmapsd_jobs_retries_total %d\n", ps.Retries)
+	fmt.Fprintf(w, "# HELP mapsd_requests_shed_total Submissions refused with 429 because the queue was saturated.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_requests_shed_total counter\nmapsd_requests_shed_total %d\n", s.shed.Load())
+	fmt.Fprintf(w, "# TYPE mapsd_http_panics_total counter\nmapsd_http_panics_total %d\n", s.httpPanics.Load())
 	fmt.Fprintf(w, "# TYPE mapsd_workers gauge\nmapsd_workers %d\n", ps.Workers)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_hits_total counter\nmapsd_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_misses_total counter\nmapsd_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_evictions_total counter\nmapsd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# TYPE mapsd_cache_dropped_puts_total counter\nmapsd_cache_dropped_puts_total %d\n", cs.DroppedPuts)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_entries gauge\nmapsd_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_hit_ratio gauge\nmapsd_cache_hit_ratio %g\n", cs.HitRatio())
 	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_total counter\nmapsd_simulated_instructions_total %d\n", instr)
@@ -536,6 +653,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	for _, line := range s.http.metricsLines() {
 		fmt.Fprintln(w, line)
+	}
+
+	// Fault-injection accounting, so a chaos run can reconcile every
+	// injected fault against the failure counters above. Absent (not
+	// zero-valued) when nothing has fired — the overwhelmingly common
+	// production state.
+	if snap := faults.Snapshot(); len(snap) > 0 {
+		points := make([]string, 0, len(snap))
+		for point := range snap {
+			points = append(points, point)
+		}
+		sort.Strings(points)
+		fmt.Fprintf(w, "# HELP mapsd_faults_injected_total Faults injected per armed injection point.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_faults_injected_total counter\n")
+		for _, point := range points {
+			fmt.Fprintf(w, "mapsd_faults_injected_total{point=%q} %d\n", point, snap[point])
+		}
 	}
 }
 

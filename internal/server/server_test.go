@@ -327,8 +327,8 @@ func TestListEndpointsAndMetrics(t *testing.T) {
 	}
 }
 
-func TestQueueFull503(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+func TestQueueFullShed429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	long := `{"type":"run","config":{"benchmark":"libquantum","instructions":2000000000}}`
 	first, _ := postJob(t, ts, long)
 	defer func() {
@@ -360,7 +360,115 @@ func TestQueueFull503(t *testing.T) {
 			r.Body.Close()
 		}
 	}()
-	if _, resp := postJob(t, ts, `{"type":"run","no_cache":true,"config":{"benchmark":"canneal","instructions":2000000000}}`); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("third: %d, want 503", resp.StatusCode)
+	// Worker busy, queue slot full: the third submission is shed with
+	// 429 + Retry-After, and the shed counter accounts it.
+	_, resp = postJob(t, ts, `{"type":"run","no_cache":true,"config":{"benchmark":"canneal","instructions":2000000000}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third: %d, want 429", resp.StatusCode)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if got := s.ShedCount(); got != 1 {
+		t.Errorf("shed count %d, want 1", got)
+	}
+	// Saturated queue flips readiness (while /healthz stays 200).
+	if resp := getJSON(t, ts, "/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while saturated: %d, want 503", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while saturated: %d, want 200", resp.StatusCode)
+	}
+}
+
+// The readiness probe: ready when idle, 503 once draining begins,
+// while liveness stays green throughout.
+func TestReadyzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	if resp := getJSON(t, ts, "/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz idle: %d, want 200", resp.StatusCode)
+	}
+	s.MarkDraining()
+	resp := getJSON(t, ts, "/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz draining: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz missing Retry-After")
+	}
+	if resp := getJSON(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz draining: %d, want 200", resp.StatusCode)
+	}
+}
+
+// Submissions after the pool starts draining surface as 503.
+func TestSubmitWhileDraining503(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, resp := postJob(t, ts, smallRun)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on drained pool: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining submit missing Retry-After")
+	}
+}
+
+// The satellite table: every server error path answers with the right
+// status and a JSON error body, including the body-size cap and the
+// cancel edge cases.
+func TestServerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 4096})
+
+	t.Run("malformed-json", func(t *testing.T) {
+		for _, body := range []string{`{not json`, `[]`, `"run"`} {
+			_, resp := postJob(t, ts, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("body %q: %d, want 400", body, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("oversized-body-413", func(t *testing.T) {
+		huge := `{"config":{"benchmark":"` + strings.Repeat("x", 8192) + `"}}`
+		_, resp := postJob(t, ts, huge)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized body: %d, want 413", resp.StatusCode)
+		}
+	})
+
+	t.Run("cancel-unknown-job-404", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j-00424242", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("cancel unknown: %d, want 404", resp.StatusCode)
+		}
+	})
+
+	t.Run("double-cancel-idempotent", func(t *testing.T) {
+		st, _ := postJob(t, ts, `{"type":"run","config":{"benchmark":"libquantum","instructions":2000000000}}`)
+		for i := 0; i < 2; i++ {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("cancel #%d: %d, want 200 (cancel is idempotent)", i+1, resp.StatusCode)
+			}
+		}
+		final := waitDone(t, ts, st.ID)
+		if final.State != jobs.StateCanceled {
+			t.Errorf("state %s after double cancel, want canceled", final.State)
+		}
+	})
 }

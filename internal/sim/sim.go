@@ -18,6 +18,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/cache"
 	"github.com/maps-sim/mapsim/internal/dram"
 	"github.com/maps-sim/mapsim/internal/energy"
+	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/hierarchy"
 	"github.com/maps-sim/mapsim/internal/memlayout"
 	"github.com/maps-sim/mapsim/internal/metacache"
@@ -232,6 +233,14 @@ type Result struct {
 // that cancellation feels immediate.
 const cancelCheckInterval = 1 << 16
 
+// faultStep is the injection point armed (as "sim.step") to make a
+// running simulation fail or stall mid-flight. It is evaluated only at
+// cancellation checkpoints — every 64Ki instructions — so the per-access
+// hot loop carries no fault-injection cost at all, and even the
+// checkpoint pays one inlined atomic load while disarmed (the
+// benchcheck gate holds it to that).
+var faultStep = faults.P("sim.step")
+
 // Run executes one simulation to completion; it cannot be cancelled.
 func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
 
@@ -321,6 +330,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
+					return instrs, err
+				}
+				if err := faultStep.Hit(); err != nil {
 					return instrs, err
 				}
 			}
