@@ -6,9 +6,10 @@
 GO ?= go
 
 # Packages with real concurrency (worker pool, server, suite fan-out,
-# result cache, fault injection) — the ones -race can actually catch
-# regressions in. The server list includes the chaos tests.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults
+# result cache, fault injection, sweep engine) — the ones -race can
+# actually catch regressions in. The server list includes the chaos
+# tests.
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
@@ -17,9 +18,9 @@ BENCH_PKG := ./internal/sim
 # Allowed fractional ns/op growth before benchcheck fails the build.
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: check build fmt lint test vet race bench benchcheck run-mapsd
+.PHONY: check build fmt lint test vet race bench benchcheck fuzzsmoke run-mapsd
 
-check: build fmt vet lint test race benchcheck
+check: build fmt vet lint test race fuzzsmoke benchcheck
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,12 @@ vet:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Ten seconds of coverage-guided fuzzing on the trace reader — enough
+# to catch parser regressions on malformed input without slowing the
+# gate meaningfully. Fuzz corpus findings land in internal/trace/testdata.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
 
 # Full benchmark pass: measure the access kernel and end-to-end runs,
 # then record the numbers into BENCH_kernel.json's current section.

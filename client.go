@@ -15,6 +15,7 @@ import (
 
 	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/server"
+	"github.com/maps-sim/mapsim/internal/sweep"
 )
 
 // Wire types shared with the mapsd service (internal/server).
@@ -31,8 +32,25 @@ type (
 	ConfigSpec = server.ConfigSpec
 	// MetaSpec is the wire form of the metadata-cache config.
 	MetaSpec = server.MetaSpec
+	// ByteSize is the wire form of capacities: JSON numbers or
+	// suffixed strings like "64KB".
+	ByteSize = server.ByteSize
 	// JobState is a job's lifecycle position.
 	JobState = jobs.State
+	// SweepRequest is the body of POST /v1/sweeps: a base config plus
+	// the axes that vary.
+	SweepRequest = server.SweepRequest
+	// SweepAxes declares a sweep's dimensions.
+	SweepAxes = server.SweepAxes
+	// SweepIntAxis is a byte-size axis: explicit points or a range.
+	SweepIntAxis = server.SweepIntAxis
+	// SweepStatus reports a sweep's per-point completion counts.
+	SweepStatus = server.SweepStatus
+	// SweepResult is a completed sweep: points in grid order plus
+	// per-axis geomeans and a rendered pivot table.
+	SweepResult = sweep.Result
+	// SweepPointResult pairs one grid point with its result.
+	SweepPointResult = sweep.PointResult
 )
 
 // Job types and states.
@@ -352,6 +370,116 @@ func (c *Client) awaitDone(ctx context.Context, st JobStatus) (JobStatus, error)
 		return st, fmt.Errorf("mapsim: job %s %s: %s", st.ID, st.State, st.Error)
 	}
 	return st, nil
+}
+
+// Sweep submits a parameter sweep and returns its initial status
+// (Total already reflects the expanded grid size).
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+	return st, err
+}
+
+// SweepProgress streams a sweep's per-point completion counts: the
+// daemon pushes one status line per completed point (NDJSON over
+// ?watch=1), onUpdate observes each, and the terminal status is
+// returned. A nil onUpdate just waits for the terminal status.
+func (c *Client) SweepProgress(ctx context.Context, id string, onUpdate func(SweepStatus)) (SweepStatus, error) {
+	var last SweepStatus
+	if err := ctx.Err(); err != nil {
+		return last, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/sweeps/"+id+"?watch=1", nil)
+	if err != nil {
+		return last, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return last, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		ae := &APIError{StatusCode: resp.StatusCode, Message: string(msg), RetryAfter: parseRetryAfter(resp.Header)}
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			ae.Message = apiErr.Error
+		}
+		return last, ae
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var st SweepStatus
+		if err := dec.Decode(&st); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return last, err
+		}
+		last = st
+		if onUpdate != nil {
+			onUpdate(st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+	}
+	// The stream ended without a terminal line (daemon restart or
+	// proxy timeout); fall back to one plain status poll.
+	return c.SweepWait(ctx, id)
+}
+
+// SweepWait polls until the sweep reaches a terminal state.
+func (c *Client) SweepWait(ctx context.Context, id string) (SweepStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		var st SweepStatus
+		if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st); err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// SweepResultRemote fetches a finished sweep's full result.
+func (c *Client) SweepResultRemote(ctx context.Context, id string) (*SweepResult, error) {
+	var res SweepResult
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunSweepRemote submits a sweep, streams progress through onUpdate
+// (which may be nil), and returns the completed result — the remote
+// analogue of sweep.Run.
+func (c *Client) RunSweepRemote(ctx context.Context, req SweepRequest, onUpdate func(SweepStatus)) (*SweepResult, error) {
+	st, err := c.Sweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if !st.State.Terminal() {
+		if st, err = c.SweepProgress(ctx, st.ID, onUpdate); err != nil {
+			return nil, err
+		}
+	}
+	if st.State != JobDone {
+		return nil, fmt.Errorf("mapsim: sweep %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return c.SweepResultRemote(ctx, st.ID)
 }
 
 // RemoteBenchmarks lists the benchmarks the daemon serves.

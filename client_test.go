@@ -301,3 +301,56 @@ func TestClientRetryIdempotentSubmit(t *testing.T) {
 		t.Errorf("pool submissions %d, want 1 — the retry must not start a second simulation", got)
 	}
 }
+
+// The sweep path end to end: submit, stream progress, fetch the
+// aggregated result, then dedupe the identical sweep from the cache.
+func TestClientSweepEndToEnd(t *testing.T) {
+	c, _ := startDaemon(t)
+	req := mapsim.SweepRequest{
+		Base: mapsim.ConfigSpec{Instructions: 20_000, Speculation: true},
+		Axes: mapsim.SweepAxes{
+			Benchmarks: []string{"fft"},
+			Meta:       mapsim.SweepIntAxis{Points: []mapsim.ByteSize{16 << 10, 64 << 10}},
+			Contents:   []string{"counters", "all"},
+		},
+	}
+
+	var updates atomic.Int32
+	res, err := c.RunSweepRemote(context.Background(), req, func(st mapsim.SweepStatus) {
+		updates.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 || res.Done != 4 || len(res.Points) != 4 {
+		t.Fatalf("sweep result shape: %+v", res)
+	}
+	if updates.Load() == 0 {
+		t.Fatal("no progress updates streamed")
+	}
+	for i, p := range res.Points {
+		if p.Result == nil {
+			t.Fatalf("point %d has no result", i)
+		}
+	}
+
+	// The identical sweep again: every point must come from the cache.
+	res2, err := c.RunSweepRemote(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Deduped == 0 {
+		t.Fatalf("repeat sweep deduped %d points, want > 0", res2.Deduped)
+	}
+}
+
+func TestClientSweepBadSpec(t *testing.T) {
+	c, _ := startDaemon(t)
+	_, err := c.Sweep(context.Background(), mapsim.SweepRequest{
+		Base: mapsim.ConfigSpec{Instructions: 1000},
+		Axes: mapsim.SweepAxes{Benchmarks: []string{"quake4"}},
+	})
+	if err == nil {
+		t.Fatal("Sweep accepted an unknown benchmark")
+	}
+}

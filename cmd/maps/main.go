@@ -6,6 +6,12 @@
 //
 //	maps [flags] <experiment> [experiment ...]
 //	maps all
+//	maps sweep [sweep flags]
+//
+// The sweep verb expands declarative axes (benchmarks, cache sizes,
+// contents, policies, partitions) into a config grid and runs it with
+// bounded parallelism, locally or against a mapsd daemon's
+// POST /v1/sweeps endpoint; `maps sweep -h` lists its flags.
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7, plus
 // the extensions ablate-partial, content-matrix, org-compare, csopt,
@@ -40,6 +46,12 @@ import (
 )
 
 func main() {
+	// The sweep verb has its own flag set (axes, remote daemon, ...):
+	// dispatch before the experiment flags ever parse.
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		os.Exit(runSweepCmd(os.Args[2:]))
+	}
+
 	instructions := flag.Uint64("instructions", 2_000_000, "simulated instructions per run")
 	withPlot := flag.Bool("plot", false, "append ASCII charts to each experiment's tables")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON results instead of tables")
@@ -146,6 +158,7 @@ func usage() {
 
 usage: maps [flags] <experiment> [experiment ...]
        maps all
+       maps sweep [sweep flags]   (see maps sweep -h)
 
 experiments:
   table1  simulation configuration

@@ -1,8 +1,9 @@
 // Command mapsd serves the MAPS simulator as a long-lived daemon:
-// submit simulation or suite jobs over HTTP, poll their status and
-// progress, and fetch results. Identical requests (by canonical
-// config hash) are answered from an LRU result cache without
-// re-simulating.
+// submit simulation, suite, or parameter-sweep jobs over HTTP, poll
+// their status and progress, and fetch results. Identical requests
+// (by canonical config hash) are answered from an LRU result cache
+// without re-simulating; sweeps consult the same cache per point and
+// report how many points it absorbed.
 //
 // Usage:
 //
@@ -13,7 +14,8 @@
 //
 //	POST   /v1/jobs             GET /v1/jobs/{id}[/result|/progress]
 //	DELETE /v1/jobs/{id}        GET /v1/benchmarks /v1/experiments
-//	GET    /metrics             GET /healthz /readyz
+//	POST   /v1/sweeps           GET /v1/sweeps/{id}[/result][?watch=1]
+//	DELETE /v1/sweeps/{id}      GET /metrics /healthz /readyz
 //	GET    /debug/pprof/        (only with -pprof)
 //
 // /healthz answers 200 while the process lives; /readyz answers 503

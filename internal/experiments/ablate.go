@@ -8,6 +8,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/metacache"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/sweep"
 	"github.com/maps-sim/mapsim/internal/workload"
 )
 
@@ -37,32 +38,29 @@ func AblatePartial(opt Options) (*AblatePartialResult, error) {
 	opt.fill()
 	benches := opt.benchmarks([]string{"fft", "lbm", "leslie3d", "canneal"})
 
+	sr, err := runSweep(sweep.Spec{
+		Base: sim.Config{
+			Instructions: opt.Instructions,
+			Secure:       true,
+			Speculation:  true,
+			Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+		},
+		Axes: sweep.Axes{
+			Benchmarks:    benches,
+			PartialWrites: []bool{false, true},
+		},
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
 	type key struct {
 		bench   string
 		partial bool
 	}
-	results := map[key]**sim.Result{}
-	var jobs []job
-	for _, b := range benches {
-		for _, partial := range []bool{false, true} {
-			slot := new(*sim.Result)
-			results[key{b, partial}] = slot
-			jobs = append(jobs, job{
-				cfg: sim.Config{
-					Benchmark:    b,
-					Instructions: opt.Instructions,
-					Secure:       true,
-					Speculation:  true,
-					Meta: &metacache.Config{
-						Size: 64 << 10, Ways: 8, PartialWrites: partial,
-					},
-				},
-				out: slot,
-			})
-		}
-	}
-	if err := runAll(jobs, opt.Parallelism); err != nil {
-		return nil, err
+	results := map[key]*sim.Result{}
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		results[key{p.Benchmark, p.PartialWrites}] = p.Result
 	}
 
 	res := &AblatePartialResult{
@@ -72,8 +70,8 @@ func AblatePartial(opt Options) (*AblatePartialResult, error) {
 		PartialFills: map[string]uint64{},
 	}
 	for _, b := range benches {
-		without := *results[key{b, false}]
-		with := *results[key{b, true}]
+		without := results[key{b, false}]
+		with := results[key{b, true}]
 		kiloW := float64(without.Instructions) / 1000
 		kiloP := float64(with.Instructions) / 1000
 		res.HashReadsPKI[b] = [2]float64{

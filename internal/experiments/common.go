@@ -6,11 +6,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
+	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/sweep"
+	"github.com/maps-sim/mapsim/internal/workload"
 )
 
 // Names lists every experiment, paper order first then extensions —
@@ -30,6 +35,26 @@ type Options struct {
 	Benchmarks []string
 	// Parallelism bounds concurrent simulations (default NumCPU).
 	Parallelism int
+}
+
+// validate rejects option values that would otherwise be silently
+// replaced by defaults: an Instructions count that is a negative
+// number forced into the uint64 (the CLI parses int64), and benchmark
+// overrides that are empty strings or unknown names — simulating the
+// default suite against the caller's intent.
+func (o *Options) validate() error {
+	if o.Instructions > math.MaxInt64 {
+		return fmt.Errorf("experiments: negative instruction count (%d after uint64 conversion)", o.Instructions)
+	}
+	for _, b := range o.Benchmarks {
+		if b == "" {
+			return fmt.Errorf("experiments: empty benchmark name in override list")
+		}
+		if _, err := workload.New(b); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return nil
 }
 
 func (o *Options) fill() {
@@ -54,38 +79,78 @@ type job struct {
 	out **sim.Result
 }
 
-// runAll executes jobs with bounded parallelism, failing fast on the
-// first error. Configs must not share mutable state (pass benchmarks
-// by name so each run builds private generators; taps must be
-// per-job).
-func runAll(jobs []job, parallelism int) error {
+// runTasks runs fn(ctx, i) for every i in [0, n) with bounded
+// parallelism and fail-fast cancellation: the first error cancels the
+// shared context, tasks not yet started never start, and in-flight
+// ones stop at their next cancellation check. Only the first error is
+// kept, so runs cancelled as victims of an earlier failure never mask
+// the root cause. Every experiment fan-out builds on this — the
+// hand-rolled semaphores fig3/fig6/fig7 used to carry lacked both the
+// cancellation and the never-start guarantee.
+func runTasks(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for i := range jobs {
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // abandon the rest of the fan-out
+	}
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(j *job) {
+		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := sim.Run(j.cfg)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: %s: %w", j.cfg.Benchmark, err)
-				}
-				mu.Unlock()
-				return
+			if ctx.Err() != nil {
+				return // a sibling already failed; don't start
 			}
-			*j.out = res
-		}(&jobs[i])
+			if err := fn(ctx, i); err != nil {
+				fail(err)
+			}
+		}(i)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runAll executes jobs with bounded parallelism, failing fast on the
+// first error. Configs must not share mutable state (pass benchmarks
+// by name so each run builds private generators; taps must be
+// per-job).
+func runAll(jobList []job, parallelism int) error {
+	return runTasks(context.Background(), len(jobList), parallelism, func(ctx context.Context, i int) error {
+		j := &jobList[i]
+		res, err := sim.RunContext(ctx, j.cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", j.cfg.Benchmark, err)
+		}
+		*j.out = res
+		return nil
+	})
+}
+
+// runSweep executes a sweep spec on a transient worker pool sized to
+// the experiment's parallelism — the shared grid fan-out behind fig1,
+// fig2, and ablate-partial since the sweep-engine refactor. Local
+// experiment runs carry no result cache: every point simulates.
+func runSweep(spec sweep.Spec, opt Options) (*sweep.Result, error) {
+	pool := jobs.New(opt.Parallelism, opt.Parallelism)
+	defer pool.Shutdown(context.Background())
+	eng := &sweep.Engine{Pool: pool}
+	return eng.Run(context.Background(), spec)
 }
 
 // sizeLabel prints capacities the way the paper's axes do.

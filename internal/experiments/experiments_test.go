@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/maps-sim/mapsim/internal/memlayout"
 	"github.com/maps-sim/mapsim/internal/metacache"
 	"github.com/maps-sim/mapsim/internal/reuse"
+	"github.com/maps-sim/mapsim/internal/sim"
 )
 
 // testOpt keeps experiment tests quick; the CLI uses the real default.
@@ -274,5 +278,54 @@ func TestTables(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table II missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// runTasks is the fail-fast primitive every experiment fan-out now
+// shares (the hand-rolled semaphores in fig3/fig6/fig7 lacked both
+// guarantees): the first error cancels the shared context, tasks not
+// yet started never start, and the root cause is returned unmasked.
+func TestRunTasksFailFast(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	err := runTasks(context.Background(), 64, 1, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the root cause", err)
+	}
+	// Parallelism 1 serializes the tasks, so the failure at i=0 must
+	// stop the fan-out long before all 64 run.
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d tasks started despite an early failure", n)
+	}
+}
+
+func TestRunTasksPropagatesCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runTasks(ctx, 8, 4, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// A failing simulation inside a fan-out must surface its own error
+// (here: a 100-byte metadata cache that cannot be built), tagged with
+// the benchmark, not a cancellation victim's context error.
+func TestRunAllPropagatesRootCause(t *testing.T) {
+	jobList := []job{
+		{cfg: sim.Config{Instructions: 10_000, Benchmark: "fft", Secure: true,
+			Meta: &metacache.Config{Size: 100, Ways: 8}}, out: new(*sim.Result)},
+		{cfg: sim.Config{Instructions: 10_000, Benchmark: "libquantum", Secure: true,
+			Meta: &metacache.Config{Size: 64 << 10, Ways: 8}}, out: new(*sim.Result)},
+	}
+	err := runAll(jobList, 2)
+	if err == nil || !strings.Contains(err.Error(), "fft") {
+		t.Fatalf("runAll error %v does not carry the failing benchmark", err)
 	}
 }

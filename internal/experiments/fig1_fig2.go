@@ -9,6 +9,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/metacache"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/stats"
+	"github.com/maps-sim/mapsim/internal/sweep"
 )
 
 // Fig1Contents are the content policies compared in Figure 1.
@@ -46,32 +47,19 @@ func Fig1(opt Options) (*Fig1Result, error) {
 		MPKI:       map[string]map[metacache.ContentPolicy]map[int]float64{},
 		MemPKI:     map[string]map[metacache.ContentPolicy]map[int]float64{},
 	}
-	type key struct {
-		bench   string
-		content metacache.ContentPolicy
-		size    int
+	contents := make([]string, len(res.Contents))
+	for i, c := range res.Contents {
+		contents[i] = c.String()
 	}
-	results := map[key]**sim.Result{}
-	var jobs []job
-	for _, b := range res.Benchmarks {
-		for _, content := range res.Contents {
-			for _, size := range res.Sizes {
-				slot := new(*sim.Result)
-				results[key{b, content, size}] = slot
-				jobs = append(jobs, job{
-					cfg: sim.Config{
-						Benchmark:    b,
-						Instructions: opt.Instructions,
-						Secure:       true,
-						Speculation:  true,
-						Meta:         &metacache.Config{Size: size, Ways: 8, Content: content},
-					},
-					out: slot,
-				})
-			}
-		}
-	}
-	if err := runAll(jobs, opt.Parallelism); err != nil {
+	sr, err := runSweep(sweep.Spec{
+		Base: sim.Config{Instructions: opt.Instructions, Secure: true, Speculation: true},
+		Axes: sweep.Axes{
+			Benchmarks: res.Benchmarks,
+			Meta:       sweep.IntAxis{Points: res.Sizes},
+			Contents:   contents,
+		},
+	}, opt)
+	if err != nil {
 		return nil, err
 	}
 	put := func(dst map[string]map[metacache.ContentPolicy]map[int]float64, bench string, content metacache.ContentPolicy, size int, v float64) {
@@ -87,9 +75,14 @@ func Fig1(opt Options) (*Fig1Result, error) {
 		}
 		mm[size] = v
 	}
-	for k, slot := range results {
-		put(res.MPKI, k.bench, k.content, k.size, (*slot).MetaMPKI)
-		put(res.MemPKI, k.bench, k.content, k.size, (*slot).MetaMemPKI)
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		content, err := metacache.ParseContent(p.Content)
+		if err != nil {
+			return nil, err
+		}
+		put(res.MPKI, p.Benchmark, content, p.MetaBytes, p.Result.MetaMPKI)
+		put(res.MemPKI, p.Benchmark, content, p.MetaBytes, p.Result.MetaMemPKI)
 	}
 	return res, nil
 }
@@ -149,38 +142,43 @@ func Fig2(opt Options) (*Fig2Result, error) {
 	// cache capacity.
 	benches := opt.benchmarks([]string{"perlbench", "gcc", "barnes", "libquantum", "fft", "leslie3d", "streamcluster", "canneal"})
 
-	type key struct {
-		bench     string
-		llc, meta int // meta<0 marks the insecure baseline
-	}
-	results := map[key]**sim.Result{}
-	var jobs []job
-	add := func(k key, cfg sim.Config) {
-		slot := new(*sim.Result)
-		results[k] = slot
-		jobs = append(jobs, job{cfg: cfg, out: slot})
-	}
 	hier := func(llc int) hierarchy.Config {
 		h := hierarchy.Default()
 		h.L3Size = llc
 		return h
 	}
-	for _, b := range benches {
-		add(key{b, 2 << 20, -1}, sim.Config{
-			Benchmark: b, Instructions: opt.Instructions, Hierarchy: hier(2 << 20),
-		})
-		for _, llc := range LLCSizes {
-			for _, meta := range MetaSizes {
-				add(key{b, llc, meta}, sim.Config{
-					Benchmark: b, Instructions: opt.Instructions,
-					Hierarchy: hier(llc), Secure: true, Speculation: true,
-					Meta: &metacache.Config{Size: meta, Ways: 8},
-				})
-			}
-		}
-	}
-	if err := runAll(jobs, opt.Parallelism); err != nil {
+	// Two sweeps: the per-benchmark insecure 2MB-LLC baseline that ED^2
+	// normalizes against, and the secure LLC × metadata grid.
+	baseSweep, err := runSweep(sweep.Spec{
+		Base: sim.Config{Instructions: opt.Instructions, Hierarchy: hier(2 << 20)},
+		Axes: sweep.Axes{Benchmarks: benches},
+	}, opt)
+	if err != nil {
 		return nil, err
+	}
+	gridSweep, err := runSweep(sweep.Spec{
+		Base: sim.Config{Instructions: opt.Instructions, Secure: true, Speculation: true},
+		Axes: sweep.Axes{
+			Benchmarks: benches,
+			LLC:        sweep.IntAxis{Points: LLCSizes},
+			Meta:       sweep.IntAxis{Points: MetaSizes},
+		},
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		bench     string
+		llc, meta int // meta<0 marks the insecure baseline
+	}
+	results := map[key]*sim.Result{}
+	for i := range baseSweep.Points {
+		p := &baseSweep.Points[i]
+		results[key{p.Benchmark, 2 << 20, -1}] = p.Result
+	}
+	for i := range gridSweep.Points {
+		p := &gridSweep.Points[i]
+		results[key{p.Benchmark, p.LLCBytes, p.MetaBytes}] = p.Result
 	}
 
 	res := &Fig2Result{LLCs: LLCSizes, Metas: MetaSizes, Norm: map[string]map[int]map[int]float64{}}
@@ -201,8 +199,8 @@ func Fig2(opt Options) (*Fig2Result, error) {
 		for _, meta := range MetaSizes {
 			var norms []float64
 			for _, b := range benches {
-				baseline := (*results[key{b, 2 << 20, -1}]).ED2
-				v := energy.Normalized((*results[key{b, llc, meta}]).ED2, baseline)
+				baseline := results[key{b, 2 << 20, -1}].ED2
+				v := energy.Normalized(results[key{b, llc, meta}].ED2, baseline)
 				norms = append(norms, v)
 				if b == "canneal" {
 					put("canneal", llc, meta, v)

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/maps-sim/mapsim/internal/memlayout"
 	"github.com/maps-sim/mapsim/internal/reuse"
@@ -24,9 +26,9 @@ const WorkingSetMarker = 288 << 10
 
 // reuseRun runs one benchmark with no metadata cache and feeds every
 // metadata access into a fresh analyzer.
-func reuseRun(bench string, instructions uint64) (*reuse.Analyzer, error) {
+func reuseRun(ctx context.Context, bench string, instructions uint64) (*reuse.Analyzer, error) {
 	an := reuse.NewAnalyzer(int(instructions / 2))
-	_, err := sim.Run(sim.Config{
+	_, err := sim.RunContext(ctx, sim.Config{
 		Benchmark:    bench,
 		Instructions: instructions,
 		Secure:       true,
@@ -41,31 +43,24 @@ func reuseRun(bench string, instructions uint64) (*reuse.Analyzer, error) {
 	return an, nil
 }
 
-// reuseSweep runs reuseRun for each benchmark with bounded
-// parallelism.
+// reuseSweep runs reuseRun for each benchmark on the shared runTasks
+// fan-out: bounded parallelism and fail-fast first-error semantics,
+// like every other experiment.
 func reuseSweep(benches []string, opt Options) (map[string]*reuse.Analyzer, error) {
-	type res struct {
-		bench string
-		an    *reuse.Analyzer
-		err   error
-	}
-	out := make(chan res, len(benches))
-	sem := make(chan struct{}, opt.Parallelism)
-	for _, b := range benches {
-		go func(b string) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			an, err := reuseRun(b, opt.Instructions)
-			out <- res{b, an, err}
-		}(b)
-	}
-	analyzers := map[string]*reuse.Analyzer{}
-	for range benches {
-		r := <-out
-		if r.err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", r.bench, r.err)
+	analyzers := make(map[string]*reuse.Analyzer, len(benches))
+	var mu sync.Mutex
+	err := runTasks(context.Background(), len(benches), opt.Parallelism, func(ctx context.Context, i int) error {
+		an, err := reuseRun(ctx, benches[i], opt.Instructions)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", benches[i], err)
 		}
-		analyzers[r.bench] = r.an
+		mu.Lock()
+		analyzers[benches[i]] = an
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return analyzers, nil
 }
@@ -118,8 +113,15 @@ func (r *Fig3Result) Render() string {
 		t.AddRow(header...)
 		for _, k := range memlayout.MetaKinds {
 			row := []string{k.String()}
+			cdf := r.CDF[b][k]
 			for i := range r.Thresholds {
-				row = append(row, fmt.Sprintf("%.2f", r.CDF[b][k][i]))
+				if i >= len(cdf) {
+					// A partial result (e.g. JSON-decoded with a missing
+					// benchmark) renders placeholders, not a panic.
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.2f", cdf[i]))
 			}
 			t.AddRow(row...)
 		}
@@ -252,8 +254,14 @@ func (r *Fig5Result) Render() string {
 					continue
 				}
 				row := []string{k.String(), tr.String(), fmt.Sprintf("%d", n)}
+				cdf := r.CDF[b][k][tr]
 				for i := range r.Thresholds {
-					row = append(row, fmt.Sprintf("%.2f", r.CDF[b][k][tr][i]))
+					if i >= len(cdf) {
+						// Placeholder for partial results, as in Fig3.
+						row = append(row, "-")
+						continue
+					}
+					row = append(row, fmt.Sprintf("%.2f", cdf[i]))
 				}
 				t.AddRow(row...)
 			}

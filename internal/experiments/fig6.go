@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -61,41 +62,30 @@ func Fig6(opt_ Options) (*Fig6Result, error) {
 	}
 
 	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, opt_.Parallelism)
-	var wg sync.WaitGroup
-	for _, b := range benches {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			mpki, rounds, err := fig6Bench(b, opt_.Instructions)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: %s: %w", b, err)
-				}
-				return
-			}
-			res.MPKI[b] = mpki
-			res.IterMINRounds[b] = rounds
-		}(b)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := runTasks(context.Background(), len(benches), opt_.Parallelism, func(ctx context.Context, i int) error {
+		b := benches[i]
+		mpki, rounds, err := fig6Bench(ctx, b, opt_.Instructions)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", b, err)
+		}
+		mu.Lock()
+		res.MPKI[b] = mpki
+		res.IterMINRounds[b] = rounds
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
 // fig6Bench runs the whole policy comparison for one benchmark.
-func fig6Bench(bench string, instructions uint64) (map[string]float64, int, error) {
+func fig6Bench(ctx context.Context, bench string, instructions uint64) (map[string]float64, int, error) {
 	mpki := map[string]float64{}
 
 	run := func(p cache.Policy, tap func(trace.Access)) (*sim.Result, error) {
-		return sim.Run(sim.Config{
+		return sim.RunContext(ctx, sim.Config{
 			Benchmark:    bench,
 			Instructions: instructions,
 			Secure:       true,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -52,31 +53,19 @@ func Fig7(opt Options) (*Fig7Result, error) {
 
 	data := map[string]*benchData{}
 	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, opt.Parallelism)
-	var wg sync.WaitGroup
-
-	for _, b := range benches {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			d, err := fig7Bench(b, opt.Instructions)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: %s: %w", b, err)
-				}
-				return
-			}
-			data[b] = d
-		}(b)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := runTasks(context.Background(), len(benches), opt.Parallelism, func(ctx context.Context, i int) error {
+		b := benches[i]
+		d, err := fig7Bench(ctx, b, opt.Instructions)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", b, err)
+		}
+		mu.Lock()
+		data[b] = d
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Fig7Result{
@@ -124,7 +113,7 @@ type benchData struct {
 	static   map[int]float64 // counter ways -> ED^2
 }
 
-func fig7Bench(bench string, instructions uint64) (*benchData, error) {
+func fig7Bench(ctx context.Context, bench string, instructions uint64) (*benchData, error) {
 	d := &benchData{static: map[int]float64{}}
 
 	run := func(secure bool, scheme partition.Scheme) (float64, error) {
@@ -134,7 +123,7 @@ func fig7Bench(bench string, instructions uint64) (*benchData, error) {
 			cfg.Speculation = true
 			cfg.Meta = &metacache.Config{Size: Fig7CacheSize, Ways: Fig7Ways, Partition: scheme}
 		}
-		r, err := sim.Run(cfg)
+		r, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return 0, err
 		}

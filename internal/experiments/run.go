@@ -70,12 +70,15 @@ func Run(name string, opt Options, withChart bool) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (want one of %v, or all)", name, Names())
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := fn(opt)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Name: name, Result: res, Elapsed: time.Since(start)}
+	rep := &Report{Name: name, Result: res}
 	switch v := res.(type) {
 	case string:
 		rep.Table = v
@@ -87,5 +90,8 @@ func Run(name string, opt Options, withChart bool) (*Report, error) {
 			rep.Chart = c.RenderChart()
 		}
 	}
+	// Stamp after rendering, so Elapsed covers the sweep plus the one
+	// table/chart render — and rendering is never timed twice into it.
+	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

@@ -63,3 +63,33 @@ func TestRunChartGating(t *testing.T) {
 		t.Error("fig1 without charts still rendered one")
 	}
 }
+
+// Options.validate must reject values the defaults would otherwise
+// silently swallow: a negative instruction count forced through the
+// CLI's int64→uint64 conversion, and empty or unknown benchmark
+// overrides (which used to fall back to the default suite).
+func TestRunValidatesOptions(t *testing.T) {
+	cases := map[string]Options{
+		"negative instructions": {Instructions: ^uint64(0)}, // -1 as int64
+		"empty benchmark":       {Instructions: 50_000, Benchmarks: []string{""}},
+		"unknown benchmark":     {Instructions: 50_000, Benchmarks: []string{"quake4"}},
+	}
+	for name, opt := range cases {
+		if _, err := Run("fig1", opt, false); err == nil {
+			t.Errorf("%s: Run accepted invalid options", name)
+		}
+	}
+}
+
+// Report.Elapsed must cover rendering exactly once: rendering is part
+// of the report, but the old code stamped Elapsed both before and
+// after the render depending on the path.
+func TestRunElapsedCoversRender(t *testing.T) {
+	rep, err := Run("fig1", Options{Instructions: 50_000, Benchmarks: []string{"fft"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v, want > 0", rep.Elapsed)
+	}
+}

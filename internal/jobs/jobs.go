@@ -357,6 +357,52 @@ func (p *Pool) Wait(ctx context.Context, id string) (Snapshot, error) {
 	}
 }
 
+// Run submits fn and blocks until it finishes, returning its result.
+// Unlike Submit it absorbs back-pressure: when the queue is full it
+// waits and retries instead of returning ErrQueueFull, so batch
+// drivers (the sweep engine) can push an arbitrarily large grid
+// through a bounded queue. Cancelling ctx cancels the job — queued or
+// running — and returns the context error; a failed job returns its
+// error with a nil result.
+func (p *Pool) Run(ctx context.Context, fn Fn, timeout time.Duration) (any, error) {
+	var id string
+	for backoff := time.Millisecond; ; {
+		var err error
+		id, err = p.Submit(fn, timeout)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	snap, err := p.Wait(ctx, id)
+	if err != nil {
+		// ctx died while waiting; reap the orphaned job.
+		p.Cancel(id)
+		return nil, err
+	}
+	switch snap.State {
+	case StateDone:
+		return snap.Result, nil
+	case StateCanceled:
+		if snap.Err != "" {
+			return nil, fmt.Errorf("jobs: %s canceled: %s", id, snap.Err)
+		}
+		return nil, context.Canceled
+	default:
+		return nil, fmt.Errorf("jobs: %s failed: %s", id, snap.Err)
+	}
+}
+
 // Shutdown stops intake and drains: queued and running jobs run to
 // completion. If ctx expires first, everything still in flight is
 // cancelled and Shutdown returns ctx.Err() after the workers exit.

@@ -409,3 +409,68 @@ func TestJobsRunFaultPoint(t *testing.T) {
 		t.Fatalf("worker dead after injected panic: %+v", snap3)
 	}
 }
+
+func TestRunSuccess(t *testing.T) {
+	p := New(2, 4)
+	defer p.Shutdown(context.Background())
+	out, err := p.Run(context.Background(), func(ctx context.Context) (any, error) { return "ok", nil }, 0)
+	if err != nil || out.(string) != "ok" {
+		t.Fatalf("Run = %v, %v", out, err)
+	}
+}
+
+func TestRunFailedJob(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	_, err := p.Run(context.Background(), func(ctx context.Context) (any, error) {
+		return nil, errors.New("deterministic boom")
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "deterministic boom") {
+		t.Fatalf("Run error = %v, want the job's own failure", err)
+	}
+}
+
+func TestRunBackpressureAbsorbsQueueFull(t *testing.T) {
+	// 1 worker, queue depth 1: submissions beyond the second would get
+	// ErrQueueFull from Submit; Run must absorb that by waiting.
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	release := make(chan struct{})
+	p.Submit(func(ctx context.Context) (any, error) { <-release; return nil, nil }, 0)
+	p.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(context.Background(), func(ctx context.Context) (any, error) { return nil, nil }, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Run returned %v before the queue had room", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Run after backpressure: %v", err)
+	}
+}
+
+func TestRunCtxCancelWhileQueued(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	p.Submit(func(ctx context.Context) (any, error) { <-release; return nil, nil }, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, func(ctx context.Context) (any, error) { return nil, nil }, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+}

@@ -99,6 +99,29 @@ func SuiteKeyFor(base sim.Config, benchmarks []string) (Key, error) {
 	return Key(hex.EncodeToString(h.Sum(nil))), nil
 }
 
+// PointKeyFor computes the content address of one sweep point: the
+// simulation config plus the replacement-policy and partition-scheme
+// *names* the sweep engine instantiates per run (instances themselves
+// are stateful and have no canonical encoding). When both names are
+// empty — the metadata cache's built-in defaults — the key degrades to
+// KeyFor's plain run key, so a sweep point and an identical single-run
+// job share one cache entry.
+func PointKeyFor(cfg sim.Config, policy, partition string) (Key, error) {
+	if policy == "" && partition == "" {
+		return KeyFor(cfg)
+	}
+	c, err := cfg.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	hashString(h, "kind", "point")
+	hashConfig(h, c)
+	hashString(h, "policy", policy)
+	hashString(h, "partition", partition)
+	return Key(hex.EncodeToString(h.Sum(nil))), nil
+}
+
 // hashConfig writes every canonicalized field. Keep this in lockstep
 // with sim.Config: a new field must be hashed here or identical keys
 // could map to different simulations.

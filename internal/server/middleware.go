@@ -32,6 +32,16 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush delegates to the wrapped writer, keeping streaming responses
+// (the sweep watch=1 NDJSON feed) working through the middleware —
+// without it the wrapper hides the underlying http.Flusher and
+// streaming handlers fall back to a single buffered response.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // httpStats counts served requests by status code for /metrics.
 type httpStats struct {
 	mu     sync.Mutex

@@ -7,6 +7,10 @@
 //	GET    /v1/jobs/{id}/result   fetch the finished result
 //	GET    /v1/jobs/{id}/progress instructions retired mid-run
 //	DELETE /v1/jobs/{id}          cancel
+//	POST   /v1/sweeps             submit a parameter sweep (config grid)
+//	GET    /v1/sweeps/{id}        sweep progress (?watch=1 streams NDJSON)
+//	GET    /v1/sweeps/{id}/result fetch the finished sweep.Result
+//	DELETE /v1/sweeps/{id}        cancel a sweep
 //	GET    /v1/benchmarks         list workloads
 //	GET    /v1/experiments        list experiment harnesses
 //	GET    /metrics               Prometheus-style counters, no deps
@@ -137,6 +141,17 @@ type Server struct {
 	inflight map[results.Key]string
 	deduped  atomic.Uint64
 
+	// Sweep registry (see sweeps.go): coordinators run in their own
+	// goroutines and shard points into the pool.
+	sweeps   map[string]*sweepJob
+	sweepSeq uint64
+
+	// Cumulative sweep counters for the mapsd_sweep_* metric family.
+	sweepsStarted      atomic.Uint64
+	sweepPointsPlanned atomic.Uint64
+	sweepPointsDone    atomic.Uint64
+	sweepPointsDeduped atomic.Uint64
+
 	// Robustness accounting and state.
 	maxBody    int64
 	shed       atomic.Uint64 // submissions refused with 429 (queue full)
@@ -171,6 +186,7 @@ func New(cfg Config) *Server {
 		log:       log,
 		meta:      make(map[string]jobMeta),
 		inflight:  make(map[results.Key]string),
+		sweeps:    make(map[string]*sweepJob),
 		started:   time.Now(),
 		phaseSecs: make(map[string]float64),
 		maxBody:   cfg.MaxBodyBytes,
@@ -180,6 +196,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.registerSweepRoutes()
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -212,6 +229,9 @@ func (s *Server) MarkDraining() { s.draining.Store(true) }
 // false immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Abort sweep coordinators first: they submit to the pool from
+	// their own goroutines and must not race the drain.
+	s.cancelSweeps()
 	return s.pool.Shutdown(ctx)
 }
 
@@ -645,6 +665,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "mapsd_sim_phase_seconds_total{phase=\"warmup\"} %g\n", warmup)
 	fmt.Fprintf(w, "mapsd_sim_phase_seconds_total{phase=\"measure\"} %g\n", measure)
 	fmt.Fprintf(w, "# TYPE mapsd_sim_phase_runs_total counter\nmapsd_sim_phase_runs_total %d\n", runs)
+
+	ss := s.SweepStatsSnapshot()
+	s.mu.Lock()
+	sweepsRunning := 0
+	for _, j := range s.sweeps {
+		if !j.snapshot().State.Terminal() {
+			sweepsRunning++
+		}
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP mapsd_sweeps_started_total Sweeps admitted by POST /v1/sweeps.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_sweeps_started_total counter\nmapsd_sweeps_started_total %d\n", ss.Started)
+	fmt.Fprintf(w, "# TYPE mapsd_sweeps_running gauge\nmapsd_sweeps_running %d\n", sweepsRunning)
+	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_planned_total counter\nmapsd_sweep_points_planned_total %d\n", ss.PointsPlanned)
+	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_done_total counter\nmapsd_sweep_points_done_total %d\n", ss.PointsDone)
+	fmt.Fprintf(w, "# HELP mapsd_sweep_points_deduped_total Sweep points served from the results cache without simulating.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_deduped_total counter\nmapsd_sweep_points_deduped_total %d\n", ss.PointsDeduped)
 
 	done, total := s.inflightProgress()
 	fmt.Fprintf(w, "# HELP mapsd_inflight_instructions_done Instructions retired by jobs not yet finished.\n")

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/sweep"
+)
+
+// maxSweepPoints caps one sweep's grid. A spec that expands past it is
+// rejected with 400 rather than admitted and starved — split the sweep
+// or raise the cap in code.
+const maxSweepPoints = 4096
+
+// SweepIntAxis is the wire form of sweep.IntAxis: byte-size points
+// ("64KB" strings or numbers) or a min/max geometric range.
+type SweepIntAxis struct {
+	// Points lists explicit values in sweep order.
+	Points []ByteSize `json:"points,omitempty"`
+	// Min and Max bound a geometric range; Factor is its step
+	// (default 2).
+	Min    ByteSize `json:"min,omitempty"`
+	Max    ByteSize `json:"max,omitempty"`
+	Factor int      `json:"factor,omitempty"`
+}
+
+// toSweep converts to the engine's axis type.
+func (a SweepIntAxis) toSweep() sweep.IntAxis {
+	out := sweep.IntAxis{
+		Min: int(a.Min), Max: int(a.Max), Factor: a.Factor,
+	}
+	for _, p := range a.Points {
+		out.Points = append(out.Points, int(p))
+	}
+	return out
+}
+
+// SweepAxes is the wire form of sweep.Axes.
+type SweepAxes struct {
+	// Benchmarks, Secure, Contents, Policies, Partitions, and
+	// PartialWrites sweep the corresponding sim.Config dimension;
+	// LLC and Meta sweep capacities in bytes. Empty axes inherit the
+	// base config.
+	Benchmarks    []string     `json:"benchmarks,omitempty"`
+	Secure        []bool       `json:"secure,omitempty"`
+	LLC           SweepIntAxis `json:"llc,omitempty"`
+	Meta          SweepIntAxis `json:"meta,omitempty"`
+	Contents      []string     `json:"contents,omitempty"`
+	Policies      []string     `json:"policies,omitempty"`
+	Partitions    []string     `json:"partitions,omitempty"`
+	PartialWrites []bool       `json:"partial_writes,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps.
+type SweepRequest struct {
+	// Base is the configuration shared by every point (its Secure
+	// default and Meta spec follow ConfigSpec rules); Axes declares
+	// what varies.
+	Base ConfigSpec `json:"base"`
+	Axes SweepAxes  `json:"axes"`
+	// Parallelism bounds the sweep's concurrent points (default: the
+	// pool's worker count).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutSec caps each point's runtime; zero means no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// NoCache skips result-cache lookups; computed points are still
+	// stored.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// toSpec translates the wire request into an engine spec.
+func (r SweepRequest) toSpec() (sweep.Spec, error) {
+	base, err := r.Base.ToSim()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	return sweep.Spec{
+		Base:    base,
+		NoCache: r.NoCache,
+		Axes: sweep.Axes{
+			Benchmarks:    r.Axes.Benchmarks,
+			Secure:        r.Axes.Secure,
+			LLC:           r.Axes.LLC.toSweep(),
+			Meta:          r.Axes.Meta.toSweep(),
+			Contents:      r.Axes.Contents,
+			Policies:      r.Axes.Policies,
+			Partitions:    r.Axes.Partitions,
+			PartialWrites: r.Axes.PartialWrites,
+		},
+	}, nil
+}
+
+// SweepStatus is the wire form of a sweep's progress, returned by
+// submit and status endpoints and streamed by ?watch=1.
+type SweepStatus struct {
+	ID string `json:"id"`
+	// State is queued/running/done/failed/canceled (sweeps skip
+	// queued: they start coordinating immediately and wait for pool
+	// slots per point).
+	State jobs.State `json:"state"`
+	// Total, Done, and Deduped count grid points: planned, completed,
+	// and served from the results cache without simulating.
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Deduped int `json:"deduped"`
+	// Error is the first point failure (failed state).
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// sweepJob is the server-side record of one sweep run.
+type sweepJob struct {
+	mu     sync.Mutex
+	status SweepStatus
+	result *sweep.Result
+	cancel context.CancelFunc
+	done   chan struct{} // closed on reaching a terminal state
+}
+
+// snapshot copies the current status under the lock.
+func (j *sweepJob) snapshot() SweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// registerSweepRoutes mounts the sweep endpoints on the API mux.
+func (s *Server) registerSweepRoutes() {
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if err := faultSubmit.Hit(); err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterShed))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if s.draining.Load() || s.pool.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		writeError(w, http.StatusServiceUnavailable, "%v", jobs.ErrDraining)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep base: %v", err)
+		return
+	}
+	// Expand up front: a bad spec answers 400 before anything runs,
+	// and Total is known from the first status response on.
+	points, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep: %v", err)
+		return
+	}
+	if len(points) > maxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			"sweep expands to %d points, above the %d-point cap; split it", len(points), maxSweepPoints)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &sweepJob{cancel: cancel, done: make(chan struct{})}
+	j.status = SweepStatus{
+		State:   jobs.StateRunning,
+		Total:   len(points),
+		Created: time.Now(),
+	}
+	s.mu.Lock()
+	s.sweepSeq++
+	id := fmt.Sprintf("s-%08d", s.sweepSeq)
+	j.status.ID = id
+	s.sweeps[id] = j
+	s.mu.Unlock()
+	s.sweepsStarted.Add(1)
+	s.sweepPointsPlanned.Add(uint64(len(points)))
+
+	eng := &sweep.Engine{
+		Pool:        s.pool,
+		Cache:       s.cache,
+		Parallelism: req.Parallelism,
+		Timeout:     time.Duration(req.TimeoutSec * float64(time.Second)),
+		OnPoint: func(pr sweep.PointResult) {
+			j.mu.Lock()
+			j.status.Done++
+			if pr.Cached {
+				j.status.Deduped++
+				s.sweepPointsDeduped.Add(1)
+			}
+			j.mu.Unlock()
+			s.sweepPointsDone.Add(1)
+		},
+	}
+	// The coordinator runs in its own goroutine, NOT as a pool job: a
+	// coordinator occupying a worker slot while waiting on its own
+	// point jobs could deadlock a full pool against itself.
+	go func() {
+		defer cancel()
+		res, err := eng.Run(ctx, spec)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.status.Finished = time.Now()
+		switch {
+		case err == nil:
+			j.status.State = jobs.StateDone
+			j.result = res
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.status.State = jobs.StateCanceled
+			j.status.Error = err.Error()
+		default:
+			j.status.State = jobs.StateFailed
+			j.status.Error = err.Error()
+		}
+		close(j.done)
+	}()
+
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// sweepByID looks up a sweep record.
+func (s *Server) sweepByID(id string) (*sweepJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.sweeps[id]
+	return j, ok
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sweepByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	s.streamSweep(w, r, j)
+}
+
+// streamSweep writes newline-delimited SweepStatus JSON: one line per
+// per-point completion count change, plus the terminal line, then
+// closes. Clients see completion counts live instead of polling.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, j *sweepJob) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	lastDone := -1
+	for {
+		st := j.snapshot()
+		if st.Done != lastDone || st.State.Terminal() {
+			lastDone = st.Done
+			if enc.Encode(st) != nil {
+				return // client went away
+			}
+			flusher.Flush()
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-j.done:
+			// Loop once more to emit the terminal line.
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sweepByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", id)
+		return
+	}
+	j.mu.Lock()
+	st, res := j.status, j.result
+	j.mu.Unlock()
+	switch st.State {
+	case jobs.StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case jobs.StateRunning:
+		writeError(w, http.StatusConflict,
+			"sweep %s is running (%d/%d points); poll GET /v1/sweeps/%s until done", id, st.Done, st.Total, id)
+	default:
+		writeError(w, http.StatusConflict, "sweep %s is %s: %s", id, st.State, st.Error)
+	}
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sweepByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", id)
+		return
+	}
+	j.cancel()
+	<-j.done // the coordinator records the terminal state
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// cancelSweeps aborts every non-terminal sweep; Shutdown calls it so
+// coordinators never outlive the pool they submit to.
+func (s *Server) cancelSweeps() {
+	s.mu.Lock()
+	active := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		active = append(active, j)
+	}
+	s.mu.Unlock()
+	for _, j := range active {
+		j.cancel()
+	}
+}
+
+// SweepStats reports cumulative sweep counters (tests and /metrics).
+type SweepStats struct {
+	// Started counts sweeps admitted; PointsPlanned, PointsDone, and
+	// PointsDeduped count grid points across all of them. A deduped
+	// point is also a done point.
+	Started       uint64 `json:"started"`
+	PointsPlanned uint64 `json:"points_planned"`
+	PointsDone    uint64 `json:"points_done"`
+	PointsDeduped uint64 `json:"points_deduped"`
+}
+
+// SweepStatsSnapshot returns the cumulative sweep counters.
+func (s *Server) SweepStatsSnapshot() SweepStats {
+	return SweepStats{
+		Started:       s.sweepsStarted.Load(),
+		PointsPlanned: s.sweepPointsPlanned.Load(),
+		PointsDone:    s.sweepPointsDone.Load(),
+		PointsDeduped: s.sweepPointsDeduped.Load(),
+	}
+}

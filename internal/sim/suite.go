@@ -142,19 +142,20 @@ func (s *SuiteResult) computeGeomeans(benchmarks []string) {
 		ed2 = append(ed2, r.ED2)
 		mem = append(mem, float64(r.DRAM.Accesses()))
 	}
-	s.GeomeanLLCMPKI = geomeanPositive(llc)
-	s.GeomeanMetaMPKI = geomeanPositive(meta)
-	s.GeomeanIPC = geomeanPositive(ipc)
-	s.GeomeanED2 = geomeanPositive(ed2)
-	s.GeomeanMemAccesses = geomeanPositive(mem)
+	s.GeomeanLLCMPKI = GeomeanPositive(llc)
+	s.GeomeanMetaMPKI = GeomeanPositive(meta)
+	s.GeomeanIPC = GeomeanPositive(ipc)
+	s.GeomeanED2 = GeomeanPositive(ed2)
+	s.GeomeanMemAccesses = GeomeanPositive(mem)
 }
 
-// geomeanPositive is stats.Geomean restricted to the strictly positive
+// GeomeanPositive is stats.Geomean restricted to the strictly positive
 // entries. A zero per-benchmark value — MetaMPKI in an insecure suite,
 // LLCMPKI for a cache-resident workload — would otherwise be clamped
 // to Geomean's 1e-12 log floor and drag the whole mean to nonsense.
-// With no positive entries the mean is 0.
-func geomeanPositive(vals []float64) float64 {
+// With no positive entries the mean is 0. The suite geomeans and the
+// sweep engine's per-axis aggregates share these semantics.
+func GeomeanPositive(vals []float64) float64 {
 	pos := make([]float64, 0, len(vals))
 	for _, v := range vals {
 		if v > 0 {
@@ -173,6 +174,14 @@ func (s *SuiteResult) Render() string {
 	t.AddRow("benchmark", "LLC MPKI", "meta MPKI", "IPC", "mem accesses")
 	for _, b := range s.Order {
 		r := s.PerBench[b]
+		if r == nil {
+			// A partial result — e.g. a JSON-decoded SuiteResult from
+			// mapsd that is missing a benchmark — renders a placeholder
+			// row instead of panicking, matching computeGeomeans's nil
+			// guard.
+			t.AddRow(b, "-", "-", "-", "-")
+			continue
+		}
 		t.AddRow(b,
 			fmt.Sprintf("%.2f", r.LLCMPKI),
 			fmt.Sprintf("%.2f", r.MetaMPKI),

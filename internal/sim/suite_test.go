@@ -109,3 +109,33 @@ func TestRunSeedsValidation(t *testing.T) {
 		t.Error("unknown benchmark accepted")
 	}
 }
+
+// TestSuiteRenderPartial is the regression test for the nil-pointer
+// panic a partial SuiteResult (e.g. JSON-decoded from mapsd with a
+// benchmark missing from PerBench) used to hit in Render: the missing
+// benchmark now renders a placeholder row and the geomean row still
+// prints.
+func TestSuiteRenderPartial(t *testing.T) {
+	res, err := RunSuite(Config{
+		Instructions: 40_000,
+		Secure:       true,
+		Speculation:  true,
+		Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+	}, []string{"libquantum", "fft"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(res.PerBench, "fft") // simulate the partial decode
+	out := res.Render()
+	if !strings.Contains(out, "fft") {
+		t.Fatalf("missing benchmark dropped from render:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fft") && !strings.Contains(line, "-") {
+			t.Fatalf("fft row is not a placeholder: %q", line)
+		}
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Fatalf("geomean row missing:\n%s", out)
+	}
+}
