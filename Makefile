@@ -6,10 +6,10 @@
 GO ?= go
 
 # Packages with real concurrency (worker pool, server, suite fan-out,
-# result cache, fault injection, sweep engine) — the ones -race can
-# actually catch regressions in. The server list includes the chaos
-# tests.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep
+# result cache, fault injection, sweep engine, tiered result store) —
+# the ones -race can actually catch regressions in. The server list
+# includes the chaos tests.
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
@@ -44,11 +44,14 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Ten seconds of coverage-guided fuzzing on the trace reader — enough
-# to catch parser regressions on malformed input without slowing the
-# gate meaningfully. Fuzz corpus findings land in internal/trace/testdata.
+# Ten seconds of coverage-guided fuzzing per decoder that parses
+# untrusted bytes: the trace reader, and the store's envelope decoder
+# (fed by disk files and peer responses) — enough to catch parser
+# regressions on malformed input without slowing the gate
+# meaningfully. Fuzz corpus findings land in each package's testdata.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/store
 
 # Full benchmark pass: measure the access kernel and end-to-end runs,
 # then record the numbers into BENCH_kernel.json's current section.

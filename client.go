@@ -482,6 +482,19 @@ func (c *Client) RunSweepRemote(ctx context.Context, req SweepRequest, onUpdate 
 	return c.SweepResultRemote(ctx, st.ID)
 }
 
+// StoreFetch fetches the raw result-store envelope for a content
+// key (GET /v1/store/{key}) — the verb mapsd peers use to fill local
+// store misses from each other. The bytes are a store.Envelope JSON
+// document; a daemon that doesn't hold the key locally answers 404
+// (an *APIError, not retried).
+func (c *Client) StoreFetch(ctx context.Context, key string) ([]byte, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/store/"+key, nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // RemoteBenchmarks lists the benchmarks the daemon serves.
 func (c *Client) RemoteBenchmarks(ctx context.Context) ([]string, error) {
 	var out map[string][]string

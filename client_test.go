@@ -15,6 +15,7 @@ import (
 
 	"github.com/maps-sim/mapsim"
 	"github.com/maps-sim/mapsim/internal/server"
+	"github.com/maps-sim/mapsim/internal/store"
 )
 
 // startDaemon runs the mapsd service in-process, exactly as cmd/mapsd
@@ -352,5 +353,46 @@ func TestClientSweepBadSpec(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("Sweep accepted an unknown benchmark")
+	}
+}
+
+// TestClientStoreFetch drives the peer-fill verb through the real
+// client: a computed job's envelope comes back decodable, an unknown
+// key is a 404 *APIError (not retried), a hostile key a 400.
+func TestClientStoreFetch(t *testing.T) {
+	c, _ := startDaemon(t)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, mapsim.JobRequest{
+		Config: mapsim.ConfigSpec{Benchmark: "libquantum", Instructions: 30_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := c.StoreFetch(ctx, st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("fetched envelope does not decode: %v", err)
+	}
+	if env.Key != st.Key {
+		t.Fatalf("envelope key %s, want %s", env.Key, st.Key)
+	}
+	if _, err := env.Value(); err != nil {
+		t.Fatalf("envelope payload does not decode: %v", err)
+	}
+
+	var apiErr *mapsim.APIError
+	unknown := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if _, err := c.StoreFetch(ctx, unknown); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: %v, want 404 APIError", err)
+	}
+	if _, err := c.StoreFetch(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: %v, want 400 APIError", err)
 	}
 }

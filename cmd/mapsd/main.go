@@ -8,6 +8,7 @@
 // Usage:
 //
 //	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
+//	      [-store-dir DIR] [-store-max-bytes SIZE] [-peers URL,...]
 //	      [-log-format text|json] [-v] [-pprof] [-faults SPEC]
 //
 // Endpoints (see internal/server and docs/OBSERVABILITY.md):
@@ -28,6 +29,16 @@
 // accepting work, drains running and queued jobs (bounded by
 // -drain-timeout), and exits.
 //
+// -store-dir enables the persistent result store's disk tier
+// (internal/store): results survive restarts, so a re-run sweep is
+// answered from disk instead of re-simulated. -store-max-bytes caps
+// it ("2GB", "512MB", or bytes; 0 = unlimited) with an LRA GC.
+// -peers lists other mapsd base URLs consulted on local store misses
+// over GET /v1/store/{key}, so a fleet shares results instead of
+// recomputing them. Pending disk writes are flushed during the
+// graceful drain, and a one-line store summary is logged at startup
+// and shutdown.
+//
 // -faults (default: the MAPSD_FAULTS environment variable) arms
 // deterministic fault injection for chaos drills, e.g.
 // "jobs.run:err:0.01,results.put:err:0.05" — see docs/ROBUSTNESS.md.
@@ -42,19 +53,51 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/maps-sim/mapsim"
+	"github.com/maps-sim/mapsim/internal/cliutil"
 	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/obs"
+	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/server"
+	"github.com/maps-sim/mapsim/internal/store"
 )
+
+// buildPeers turns the -peers list into store peers backed by the
+// retrying mapsim.Client, so peer fill inherits its backoff and
+// Retry-After handling. Retries are kept short: a slow peer must cost
+// less than recomputing locally.
+func buildPeers(spec string) []store.Peer {
+	var peers []store.Peer
+	for _, u := range strings.Split(spec, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		pc := mapsim.NewClient(u)
+		pc.MaxRetries = 1
+		pc.RetryBase = 50 * time.Millisecond
+		peers = append(peers, store.Peer{
+			Name: u,
+			Fetch: func(ctx context.Context, key results.Key) ([]byte, error) {
+				return pc.StoreFetch(ctx, string(key))
+			},
+		})
+	}
+	return peers
+}
 
 func main() {
 	addr := flag.String("addr", ":8750", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "simulation worker count")
 	queue := flag.Int("queue", 64, "job queue depth (beyond it, submissions get 503)")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (entries)")
+	storeDir := flag.String("store-dir", "", "persistent result-store directory (empty = memory-only)")
+	storeMax := flag.String("store-max-bytes", "1GB", "disk-tier size cap before GC evicts least-recently-accessed results (0 = unlimited)")
+	peersSpec := flag.String("peers", "", "comma-separated peer mapsd base URLs consulted on local store misses")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
 	verbose := flag.Bool("v", false, "verbose logging (Debug level: spans, scrapes)")
@@ -77,12 +120,36 @@ func main() {
 		logger.Warn("fault injection armed", "points", faults.Armed(), "spec", *faultSpec)
 	}
 
+	maxBytes, err := cliutil.ParseSize(*storeMax)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsd: -store-max-bytes: %v\n", err)
+		os.Exit(2)
+	}
+	st, err := store.Open(store.Options{
+		Memory:   results.New(*cacheEntries),
+		Dir:      *storeDir,
+		MaxBytes: int64(maxBytes),
+		Peers:    buildPeers(*peersSpec),
+		Logger:   logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapsd: -store-dir: %v\n", err)
+		os.Exit(2)
+	}
+	ss := st.Stats()
+	storeDirLabel := ss.Dir
+	if storeDirLabel == "" {
+		storeDirLabel = "(memory-only)"
+	}
+	logger.Info("result store open",
+		"dir", storeDirLabel, "entries", ss.DiskEntries, "bytes", ss.DiskBytes, "peers", ss.Peers)
+
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		Logger:       logger,
-		EnablePprof:  *withPprof,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Store:       st,
+		Logger:      logger,
+		EnablePprof: *withPprof,
 	})
 	// Timeouts bound every connection phase so one stalled client
 	// cannot pin a goroutine: headers in 10s, the whole request in
@@ -127,11 +194,20 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("http shutdown", "error", err)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+	// srv.Shutdown drains the pool, then flushes every pending
+	// disk-tier write and closes the store — results the final jobs
+	// computed are on disk before the process exits.
+	drainErr := srv.Shutdown(ctx)
+	ss = st.Stats()
+	logger.Info("result store closed",
+		"dir", storeDirLabel, "entries", ss.DiskEntries, "bytes", ss.DiskBytes,
+		"disk_puts", ss.DiskPuts, "dropped_disk_puts", ss.DroppedDiskPuts,
+		"gc_evictions", ss.GCEvictions, "peer_fills", ss.PeerFills)
+	if drainErr != nil {
+		if errors.Is(drainErr, context.DeadlineExceeded) {
 			logger.Error("drain timed out; in-flight jobs were cancelled")
 		} else {
-			logger.Error("drain", "error", err)
+			logger.Error("drain", "error", drainErr)
 		}
 		os.Exit(1)
 	}

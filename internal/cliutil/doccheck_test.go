@@ -78,6 +78,7 @@ func TestRepoPackagesFullyDocumented(t *testing.T) {
 		"../server",
 		"../faults",
 		"../sweep",
+		"../store",
 		"../..", // root package: client.go, mapsim.go
 	} {
 		missing, err := MissingDocs(dir)

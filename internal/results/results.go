@@ -24,6 +24,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"hash"
 	"math"
@@ -174,6 +175,11 @@ type Stats struct {
 	DroppedPuts uint64 `json:"dropped_puts"`
 	Entries     int    `json:"entries"`
 	Capacity    int    `json:"capacity"`
+	// SizeBytes approximates resident value bytes (JSON-encoded size,
+	// measured once per Put), so the memory tier reports capacity in
+	// the same unit as the disk tier under it (mapsd_cache_bytes vs
+	// mapsd_store_bytes).
+	SizeBytes int64 `json:"size_bytes"`
 }
 
 // HitRatio returns Hits / (Hits + Misses), zero when idle.
@@ -187,6 +193,18 @@ func (s Stats) HitRatio() float64 {
 type entry struct {
 	key   Key
 	value any
+	size  int64
+}
+
+// sizeOf approximates a value's resident size as its JSON encoding
+// length — the same bytes the disk tier would store, so the two
+// tiers' byte gauges are comparable. Unencodable values count zero.
+func sizeOf(v any) int64 {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	return int64(len(data))
 }
 
 // Cache is a thread-safe LRU-bounded map from content address to
@@ -228,6 +246,20 @@ func (c *Cache) Get(key Key) (any, bool) {
 	return el.Value.(*entry).value, true
 }
 
+// Peek returns the cached value for key without counting a hit or
+// miss and without refreshing recency — the read-through the store's
+// peer-serving path uses, so serving another daemon's fill never
+// distorts this daemon's own LRU order or hit ratio.
+func (c *Cache) Peek(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).value, true
+}
+
 // Put stores value under key, evicting the least recently used entry
 // when full. Storing an existing key refreshes its value and recency.
 // An armed results.put fault drops the write (counted in
@@ -240,20 +272,26 @@ func (c *Cache) Put(key Key, value any) {
 		c.mu.Unlock()
 		return
 	}
+	size := sizeOf(value) // measured outside the lock; encoding isn't free
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*entry).value = value
+		e := el.Value.(*entry)
+		c.stats.SizeBytes += size - e.size
+		e.value, e.size = value, size
 		c.order.MoveToFront(el)
 		return
 	}
 	for c.order.Len() >= c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*entry).key)
+		old := oldest.Value.(*entry)
+		delete(c.byKey, old.key)
+		c.stats.SizeBytes -= old.size
 		c.stats.Evictions++
 	}
-	c.byKey[key] = c.order.PushFront(&entry{key: key, value: value})
+	c.byKey[key] = c.order.PushFront(&entry{key: key, value: value, size: size})
+	c.stats.SizeBytes += size
 }
 
 // Len returns the current number of entries.

@@ -187,3 +187,44 @@ func TestCacheMinimumCapacity(t *testing.T) {
 		t.Fatalf("len %d, want 1 (capacity clamps to 1)", c.Len())
 	}
 }
+
+func TestCacheSizeBytesAccounting(t *testing.T) {
+	c := New(2)
+	if s := c.Stats(); s.SizeBytes != 0 {
+		t.Fatalf("empty cache reports %d bytes", s.SizeBytes)
+	}
+	small := "x" // 3 JSON bytes: "x"
+	big := map[string]int{"aaaaaaaa": 1, "bbbbbbbb": 2}
+	c.Put("a", small)
+	after1 := c.Stats().SizeBytes
+	if after1 <= 0 {
+		t.Fatalf("SizeBytes %d after one Put, want > 0", after1)
+	}
+	c.Put("b", big)
+	after2 := c.Stats().SizeBytes
+	if after2 <= after1 {
+		t.Fatalf("SizeBytes %d did not grow past %d", after2, after1)
+	}
+	// Overwrite shrinks: replace the big value with a small one.
+	c.Put("b", small)
+	if got := c.Stats().SizeBytes; got != 2*after1 {
+		t.Fatalf("SizeBytes %d after overwrite, want %d", got, 2*after1)
+	}
+	// Eviction releases the evicted entry's bytes.
+	c.Put("c", small) // evicts LRU ("a")
+	if got := c.Stats().SizeBytes; got != 2*after1 {
+		t.Fatalf("SizeBytes %d after eviction, want %d", got, 2*after1)
+	}
+	// Peek observes without perturbing counters or LRU order.
+	preStats := c.Stats()
+	if _, ok := c.Peek("c"); !ok {
+		t.Fatal("Peek missed a present key")
+	}
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("Peek invented a value")
+	}
+	post := c.Stats()
+	if post.Hits != preStats.Hits || post.Misses != preStats.Misses {
+		t.Fatalf("Peek moved counters: %+v -> %+v", preStats, post)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/store"
 	"github.com/maps-sim/mapsim/internal/workload"
 )
 
@@ -73,8 +74,15 @@ type Config struct {
 	// QueueDepth bounds the backlog; submissions beyond it are shed
 	// with 429 + Retry-After (default 64).
 	QueueDepth int
-	// CacheEntries bounds the result cache (default 256).
+	// CacheEntries bounds the result cache (default 256). Ignored when
+	// Store is set — the store's own memory tier rules then.
 	CacheEntries int
+	// Store, when set, is the tiered persistent result store the
+	// daemon answers from and fills (memory LRU over a disk tier over
+	// HTTP peers; see internal/store). Nil falls back to a memory-only
+	// store of CacheEntries capacity. The server owns the store's
+	// lifecycle either way: Shutdown flushes and closes it.
+	Store *store.Store
 	// Logger receives request logs, job lifecycle events, and
 	// simulation spans; nil means silent.
 	Logger *slog.Logger
@@ -123,9 +131,12 @@ type jobMeta struct {
 	progress *obs.Progress
 }
 
-// Server wires the HTTP API to the pool and cache.
+// Server wires the HTTP API to the pool and the tiered result store.
 type Server struct {
-	pool    *jobs.Pool
+	pool *jobs.Pool
+	// store is the tiered result store; cache aliases its memory tier
+	// (the old mapsd_cache_* counters keep reading from there).
+	store   *store.Store
 	cache   *results.Cache
 	mux     *http.ServeMux
 	handler http.Handler
@@ -177,11 +188,16 @@ func New(cfg Config) *Server {
 	if log == nil {
 		log = obs.Nop()
 	}
+	st := cfg.Store
+	if st == nil {
+		st = store.MemoryOnly(results.New(cfg.CacheEntries))
+	}
 	s := &Server{
 		pool: jobs.New(cfg.Workers, cfg.QueueDepth,
 			jobs.WithLogger(log),
 			jobs.WithRetry(cfg.JobRetries, cfg.JobRetryBase)),
-		cache:     results.New(cfg.CacheEntries),
+		store:     st,
+		cache:     st.Memory(),
 		mux:       http.NewServeMux(),
 		log:       log,
 		meta:      make(map[string]jobMeta),
@@ -197,6 +213,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.registerSweepRoutes()
+	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -224,15 +241,22 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // work here while in-flight requests finish.
 func (s *Server) MarkDraining() { s.draining.Store(true) }
 
-// Shutdown drains the pool: queued and running jobs complete unless
-// ctx expires first, in which case they are cancelled. Readiness goes
+// Shutdown drains the pool — queued and running jobs complete unless
+// ctx expires first, in which case they are cancelled — then flushes
+// and closes the result store, so everything the last jobs computed
+// reaches the disk tier before the process exits. Readiness goes
 // false immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	// Abort sweep coordinators first: they submit to the pool from
 	// their own goroutines and must not race the drain.
 	s.cancelSweeps()
-	return s.pool.Shutdown(ctx)
+	err := s.pool.Shutdown(ctx)
+	// Close drains the write queue even when the pool drain timed
+	// out: persisting what did finish is exactly what makes the next
+	// start cheap.
+	s.store.Close()
+	return err
 }
 
 // handleReady is the readiness probe: 200 only when the instance can
@@ -254,8 +278,33 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// CacheStats exposes the result-cache counters (tests and metrics).
+// CacheStats exposes the memory-tier result-cache counters (tests
+// and metrics).
 func (s *Server) CacheStats() results.Stats { return s.cache.Stats() }
+
+// StoreStats exposes the tiered result-store counters (tests and
+// metrics).
+func (s *Server) StoreStats() store.Stats { return s.store.Stats() }
+
+// handleStoreGet serves the raw envelope for a content key from the
+// local store tiers — the peer-fill protocol's supply side. Peers are
+// never consulted recursively, so daemons pointing at each other
+// cannot set off a fill storm; a key this daemon doesn't hold locally
+// is simply 404, and the asking peer recomputes.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := results.Key(r.PathValue("key"))
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed store key %q (want 64 hex chars)", key)
+		return
+	}
+	raw, ok := s.store.Envelope(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "key %s not in local store", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
 
 // PoolStats exposes the job-pool counters.
 func (s *Server) PoolStats() jobs.Stats { return s.pool.Stats() }
@@ -355,7 +404,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.NoCache {
-		if cached, ok := s.cache.Get(key); ok {
+		if cached, ok := s.store.Get(r.Context(), key); ok {
 			id, err := s.pool.Complete(cached)
 			if err != nil {
 				w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
@@ -455,7 +504,7 @@ func (s *Server) runFn(cfg sim.Config, key results.Key, prog *obs.Progress) jobs
 		}
 		s.account(res.Instructions, time.Since(t0))
 		s.recordTiming(res.Timing)
-		s.cache.Put(key, res)
+		s.store.Put(key, res)
 		return res, nil
 	}
 }
@@ -476,7 +525,7 @@ func (s *Server) suiteFn(cfg sim.Config, benchmarks []string, parallelism int, k
 			s.recordTiming(r.Timing)
 		}
 		s.account(instrs, time.Since(t0))
-		s.cache.Put(key, res)
+		s.store.Put(key, res)
 		return res, nil
 	}
 }
@@ -650,7 +699,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_cache_evictions_total counter\nmapsd_cache_evictions_total %d\n", cs.Evictions)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_dropped_puts_total counter\nmapsd_cache_dropped_puts_total %d\n", cs.DroppedPuts)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_entries gauge\nmapsd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP mapsd_cache_bytes Approximate resident bytes in the memory result tier.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_cache_bytes gauge\nmapsd_cache_bytes %d\n", cs.SizeBytes)
 	fmt.Fprintf(w, "# TYPE mapsd_cache_hit_ratio gauge\nmapsd_cache_hit_ratio %g\n", cs.HitRatio())
+
+	sts := s.store.Stats()
+	fmt.Fprintf(w, "# HELP mapsd_store_hits_total Result-store lookups answered, by tier.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_store_hits_total counter\n")
+	fmt.Fprintf(w, "mapsd_store_hits_total{tier=\"memory\"} %d\n", sts.MemHits)
+	fmt.Fprintf(w, "mapsd_store_hits_total{tier=\"disk\"} %d\n", sts.DiskHits)
+	fmt.Fprintf(w, "mapsd_store_hits_total{tier=\"peer\"} %d\n", sts.PeerFills)
+	fmt.Fprintf(w, "# TYPE mapsd_store_misses_total counter\nmapsd_store_misses_total %d\n", sts.Misses)
+	fmt.Fprintf(w, "# TYPE mapsd_store_puts_total counter\nmapsd_store_puts_total %d\n", sts.Puts)
+	fmt.Fprintf(w, "# TYPE mapsd_store_disk_puts_total counter\nmapsd_store_disk_puts_total %d\n", sts.DiskPuts)
+	fmt.Fprintf(w, "# HELP mapsd_store_dropped_disk_puts_total Disk-tier writes lost to faults, write errors, a full queue, or shutdown.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_store_dropped_disk_puts_total counter\nmapsd_store_dropped_disk_puts_total %d\n", sts.DroppedDiskPuts)
+	fmt.Fprintf(w, "# TYPE mapsd_store_gc_evictions_total counter\nmapsd_store_gc_evictions_total %d\n", sts.GCEvictions)
+	fmt.Fprintf(w, "# HELP mapsd_store_quarantined_total Corrupt disk entries moved aside; each costs one recompute, never an error.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_store_quarantined_total counter\nmapsd_store_quarantined_total %d\n", sts.Quarantined)
+	fmt.Fprintf(w, "# TYPE mapsd_store_disk_errors_total counter\nmapsd_store_disk_errors_total %d\n", sts.DiskErrors)
+	fmt.Fprintf(w, "# TYPE mapsd_store_peer_fills_total counter\nmapsd_store_peer_fills_total %d\n", sts.PeerFills)
+	fmt.Fprintf(w, "# TYPE mapsd_store_peer_errors_total counter\nmapsd_store_peer_errors_total %d\n", sts.PeerErrors)
+	fmt.Fprintf(w, "# TYPE mapsd_store_entries gauge\nmapsd_store_entries %d\n", sts.DiskEntries)
+	fmt.Fprintf(w, "# HELP mapsd_store_bytes Bytes resident in the disk tier.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_store_bytes gauge\nmapsd_store_bytes %d\n", sts.DiskBytes)
+	fmt.Fprintf(w, "# TYPE mapsd_store_pending_writes gauge\nmapsd_store_pending_writes %d\n", sts.PendingWrites)
+	fmt.Fprintf(w, "# TYPE mapsd_store_peers gauge\nmapsd_store_peers %d\n", sts.Peers)
 	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_total counter\nmapsd_simulated_instructions_total %d\n", instr)
 	fmt.Fprintf(w, "# TYPE mapsd_simulated_instructions_per_second gauge\nmapsd_simulated_instructions_per_second %g\n", ips)
 	fmt.Fprintf(w, "# TYPE mapsd_uptime_seconds gauge\nmapsd_uptime_seconds %g\n", time.Since(s.started).Seconds())

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/faults"
+	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/results"
+	"github.com/maps-sim/mapsim/internal/store"
+	"github.com/maps-sim/mapsim/internal/sweep"
+)
+
+// newStoreServer starts a server over a disk-backed store rooted at
+// dir, returning an explicit shutdown func so tests can stop one
+// "daemon" before starting the next against the same directory.
+func newStoreServer(t *testing.T, dir string, peers []store.Peer) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	st, err := store.Open(store.Options{
+		Memory:      results.New(64),
+		Dir:         dir,
+		Peers:       peers,
+		PeerTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 4, QueueDepth: 16, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	done := false
+	shutdown := func() {
+		if done {
+			return
+		}
+		done = true
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	t.Cleanup(shutdown)
+	return s, ts, shutdown
+}
+
+func getSweepResult(t *testing.T, ts *httptest.Server, id string) sweep.Result {
+	t.Helper()
+	var res sweep.Result
+	if resp := getJSON(t, ts, "/v1/sweeps/"+id+"/result", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep result status %d", resp.StatusCode)
+	}
+	return res
+}
+
+// TestStoreRestartResume is the PR's acceptance test: run a sweep,
+// restart mapsd against the same -store-dir (new server, fresh memory
+// cache), rerun the identical sweep, and get every point from disk —
+// zero re-simulations, bit-identical results.
+func TestStoreRestartResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// Daemon #1: simulate everything, persist, shut down cleanly.
+	s1, ts1, shutdown1 := newStoreServer(t, dir, nil)
+	st1, resp := postSweep(t, ts1, sweepBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	fin1 := waitSweepDone(t, ts1, st1.ID)
+	if fin1.State != jobs.StateDone || fin1.Done != fin1.Total || fin1.Deduped != 0 {
+		t.Fatalf("first sweep: %+v", fin1)
+	}
+	res1 := getSweepResult(t, ts1, st1.ID)
+	if s1.PoolStats().Submitted == 0 {
+		t.Fatal("first sweep simulated nothing")
+	}
+	shutdown1() // drains the pool AND flushes the store's write queue
+
+	// Daemon #2: same directory, empty memory tier, empty pool.
+	s2, ts2, _ := newStoreServer(t, dir, nil)
+	if ss := s2.StoreStats(); ss.DiskEntries == 0 {
+		t.Fatalf("restart found an empty disk tier: %+v", ss)
+	}
+	st2, _ := postSweep(t, ts2, sweepBody)
+	fin2 := waitSweepDone(t, ts2, st2.ID)
+	if fin2.State != jobs.StateDone {
+		t.Fatalf("second sweep: %+v", fin2)
+	}
+	if fin2.Deduped != fin2.Total {
+		t.Fatalf("resumed sweep deduped %d of %d points, want all", fin2.Deduped, fin2.Total)
+	}
+	if got := s2.PoolStats().Submitted; got != 0 {
+		t.Fatalf("resumed sweep submitted %d pool jobs, want 0 (zero re-simulations)", got)
+	}
+	if ss := s2.StoreStats(); ss.DiskHits == 0 {
+		t.Fatalf("resumed sweep did not read the disk tier: %+v", ss)
+	}
+
+	// Bit-identical per-point results: the disk round trip (JSON with
+	// exact float64 shortest-representation) must not perturb a single
+	// field.
+	res2 := getSweepResult(t, ts2, st2.ID)
+	if len(res2.Points) != len(res1.Points) {
+		t.Fatalf("point count %d vs %d", len(res2.Points), len(res1.Points))
+	}
+	for i := range res1.Points {
+		a, err := json.Marshal(res1.Points[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res2.Points[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("point %d result changed across restart:\nfirst  %s\nsecond %s", i, a, b)
+		}
+	}
+}
+
+// httpPeer builds a store.Peer fetching over the real /v1/store/{key}
+// endpoint of another test server — the same wire path cmd/mapsd's
+// -peers flag configures (there via the retrying client).
+func httpPeer(ts *httptest.Server) store.Peer {
+	return store.Peer{
+		Name: ts.URL,
+		Fetch: func(ctx context.Context, key results.Key) ([]byte, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/store/"+string(key), nil)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("peer answered %d", resp.StatusCode)
+			}
+			return io.ReadAll(resp.Body)
+		},
+	}
+}
+
+// TestStorePeerFill proves the fleet path: daemon B, which never
+// simulated anything, answers a job as a cache hit by fetching the
+// envelope from daemon A's store.
+func TestStorePeerFill(t *testing.T) {
+	sA, tsA, _ := newStoreServer(t, t.TempDir(), nil)
+	stA, _ := postJob(t, tsA, smallRun)
+	if fin := waitDone(t, tsA, stA.ID); fin.State != jobs.StateDone {
+		t.Fatalf("job on A: %+v", fin)
+	}
+	var resA JobResult
+	getJSON(t, tsA, "/v1/jobs/"+stA.ID+"/result", &resA)
+
+	sB, tsB, _ := newStoreServer(t, t.TempDir(), []store.Peer{httpPeer(tsA)})
+	stB, resp := postJob(t, tsB, smallRun)
+	if resp.StatusCode != http.StatusOK || !stB.CacheHit {
+		t.Fatalf("peer-filled submit: status %d, %+v", resp.StatusCode, stB)
+	}
+	if ss := sB.StoreStats(); ss.PeerFills != 1 || ss.PeerErrors != 0 {
+		t.Fatalf("B store stats: %+v", ss)
+	}
+	// CacheHit means the job was born done (pool.Complete) — nothing
+	// was queued, so nothing simulated.
+	if ps := sB.PoolStats(); ps.Queued != 0 || ps.Running != 0 {
+		t.Fatalf("B pool has work: %+v", ps)
+	}
+	if ss := sB.StoreStats(); ss.Misses != 0 {
+		t.Fatalf("B missed %d lookups, want pure peer fill: %+v", ss.Misses, ss)
+	}
+	var resB JobResult
+	getJSON(t, tsB, "/v1/jobs/"+stB.ID+"/result", &resB)
+	a, _ := json.Marshal(resA.Run)
+	b, _ := json.Marshal(resB.Run)
+	if string(a) != string(b) {
+		t.Fatalf("peer-filled result differs:\nA %s\nB %s", a, b)
+	}
+	if sA.StoreStats().PeerFills != 0 {
+		t.Fatal("serving a peer counted as a fill on A")
+	}
+}
+
+// TestStoreEndpoint pins the peer-fill protocol's supply side: 400 on
+// hostile keys, 404 on unknown ones, a decodable envelope otherwise.
+func TestStoreEndpoint(t *testing.T) {
+	_, ts, _ := newStoreServer(t, t.TempDir(), nil)
+	st, _ := postJob(t, ts, smallRun)
+	waitDone(t, ts, st.ID)
+
+	for _, bad := range []string{"abc", "..%2F..%2Fetc%2Fpasswd", st.Key + "0"} {
+		if resp := getJSON(t, ts, "/v1/store/"+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("key %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	unknown := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if resp := getJSON(t, ts, "/v1/store/"+unknown, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/store/" + st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("known key: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("served envelope does not decode: %v", err)
+	}
+	if env.Key != st.Key {
+		t.Fatalf("envelope key %s, want %s", env.Key, st.Key)
+	}
+	if _, err := env.Value(); err != nil {
+		t.Fatalf("envelope payload does not decode: %v", err)
+	}
+}
+
+// TestStoreChaosDegradesGracefully runs the disk-full and
+// peer-timeout drills through the whole HTTP path: armed store
+// faults and a hung peer cost persistence or latency, never a failed
+// job or a wrong result.
+func TestStoreChaosDegradesGracefully(t *testing.T) {
+	defer faults.Reset()
+	if err := faults.ArmSpec("store.put:err"); err != nil {
+		t.Fatal(err)
+	}
+	hungPeer := store.Peer{
+		Name: "hung",
+		Fetch: func(ctx context.Context, _ results.Key) ([]byte, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	st, err := store.Open(store.Options{
+		Memory:      results.New(64),
+		Dir:         t.TempDir(),
+		Peers:       []store.Peer{hungPeer},
+		PeerTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 4, QueueDepth: 16, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	// The sweep waits out the hung peer per unique point (bounded by
+	// PeerTimeout), every disk write is dropped — and it still
+	// completes with correct results.
+	sw, resp := postSweep(t, ts, sweepBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit under chaos: %d", resp.StatusCode)
+	}
+	fin := waitSweepDone(t, ts, sw.ID)
+	if fin.State != jobs.StateDone || fin.Done != fin.Total {
+		t.Fatalf("sweep under chaos: %+v", fin)
+	}
+	ss := s.StoreStats()
+	if ss.DroppedDiskPuts == 0 || ss.DiskPuts != 0 || ss.DiskEntries != 0 {
+		t.Fatalf("disk-full drill leaked writes to disk: %+v", ss)
+	}
+	if ss.PeerErrors == 0 {
+		t.Fatalf("hung peer never timed out: %+v", ss)
+	}
+	// Identical resubmission still dedupes from the memory tier.
+	sw2, _ := postSweep(t, ts, sweepBody)
+	fin2 := waitSweepDone(t, ts, sw2.ID)
+	if fin2.State != jobs.StateDone || fin2.Deduped != fin2.Total {
+		t.Fatalf("memory tier lost results under chaos: %+v", fin2)
+	}
+}

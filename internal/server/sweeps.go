@@ -201,7 +201,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 
 	eng := &sweep.Engine{
 		Pool:        s.pool,
-		Cache:       s.cache,
+		Cache:       s.store,
 		Parallelism: req.Parallelism,
 		Timeout:     time.Duration(req.TimeoutSec * float64(time.Second)),
 		OnPoint: func(pr sweep.PointResult) {

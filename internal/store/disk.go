@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/maps-sim/mapsim/internal/results"
+)
+
+// Disk layout under Options.Dir:
+//
+//	objects/<key[:2]>/<key>.json   one envelope per stored result,
+//	                               sharded by hash prefix so no single
+//	                               directory grows unbounded
+//	objects/.../<key>.json.tmp     in-flight write; never read, swept
+//	                               at Open (a crash mid-write leaves
+//	                               only these, never a corrupt entry)
+//	quarantine/<key>.json          entries that failed validation,
+//	                               moved aside for post-mortems
+const (
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+	entryExt      = ".json"
+	tmpExt        = ".tmp"
+)
+
+// diskEntry is the in-memory index record for one on-disk envelope.
+type diskEntry struct {
+	size int64
+	// access is a logical LRA clock tick: higher = more recently
+	// accessed. Seeded from file mtime order at Open, bumped on every
+	// hit and write, consulted by the GC.
+	access uint64
+}
+
+// entryPath maps a key to its sharded object path.
+func (s *Store) entryPath(key results.Key) string {
+	k := string(key)
+	return filepath.Join(s.dir, objectsDir, k[:2], k+entryExt)
+}
+
+// openDisk prepares the directory tree and indexes what's already
+// there: valid-looking entry files are recorded (sized, LRA-ordered
+// by mtime); leftover temp files from a crashed writer are removed.
+// Contents are not validated here — that happens lazily on Get, so a
+// huge store opens in O(entries) stats, not O(bytes) reads.
+func (s *Store) openDisk() error {
+	for _, d := range []string{
+		s.dir,
+		filepath.Join(s.dir, objectsDir),
+		filepath.Join(s.dir, quarantineDir),
+	} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	type found struct {
+		key     results.Key
+		size    int64
+		modNano int64
+	}
+	var scan []found
+	root := filepath.Join(s.dir, objectsDir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, tmpExt) {
+			// A crash between create and rename strands these; they
+			// were never visible as entries and never will be.
+			os.Remove(path)
+			return nil
+		}
+		key := results.Key(strings.TrimSuffix(name, entryExt))
+		if !strings.HasSuffix(name, entryExt) || !ValidKey(key) {
+			return nil // not ours; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		scan = append(scan, found{key, info.Size(), info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Oldest files get the lowest access ticks, so the GC's
+	// least-recently-accessed order survives a restart (approximated
+	// by mtime until real accesses re-rank them).
+	sort.Slice(scan, func(i, j int) bool { return scan[i].modNano < scan[j].modNano })
+	s.dmu.Lock()
+	for _, f := range scan {
+		s.clock++
+		s.entries[f.key] = &diskEntry{size: f.size, access: s.clock}
+		s.diskBytes += f.size
+	}
+	s.dmu.Unlock()
+	s.gc()
+	return nil
+}
+
+// diskGet reads and validates the on-disk envelope for key. It
+// returns (nil, false) on any miss or failure — the caller falls
+// through to the next tier — after quarantining entries that exist
+// but fail validation.
+func (s *Store) diskGet(key results.Key) ([]byte, *Envelope, bool) {
+	s.dmu.Lock()
+	_, indexed := s.entries[key]
+	s.dmu.Unlock()
+	if !indexed {
+		return nil, nil, false
+	}
+	if err := faultGet.Hit(); err != nil {
+		// Injected disk-read failure: degrade to a miss, keep the
+		// entry — the disk may come back.
+		s.diskErrors.Add(1)
+		return nil, nil, false
+	}
+	path := s.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.dropIndex(key) // evicted or removed behind our back
+		} else {
+			s.diskErrors.Add(1)
+		}
+		return nil, nil, false
+	}
+	env, err := Decode(raw)
+	if err == nil && env.Key != string(key) {
+		err = corrupt("entry %s holds key %s", key, env.Key)
+	}
+	if err != nil {
+		s.quarantine(key, path, err)
+		return nil, nil, false
+	}
+	s.touch(key)
+	return raw, env, true
+}
+
+// touch marks key most recently accessed in the LRA index.
+func (s *Store) touch(key results.Key) {
+	s.dmu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.clock++
+		e.access = s.clock
+	}
+	s.dmu.Unlock()
+}
+
+// dropIndex forgets key without touching the filesystem.
+func (s *Store) dropIndex(key results.Key) {
+	s.dmu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.diskBytes -= e.size
+		delete(s.entries, key)
+	}
+	s.dmu.Unlock()
+}
+
+// quarantine moves a failed-validation entry into the quarantine
+// directory (falling back to deletion if even that fails) and drops
+// it from the index. The simulation that produced it will simply be
+// re-run on the next request — corruption costs compute, never
+// availability.
+func (s *Store) quarantine(key results.Key, path string, cause error) {
+	dst := filepath.Join(s.dir, quarantineDir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	s.dropIndex(key)
+	s.quarantined.Add(1)
+	s.log.Warn("store: quarantined corrupt entry", "key", string(key), "error", cause)
+}
+
+// diskPut writes one envelope with the crash-safe discipline: the
+// bytes land in a temp file in the entry's own shard directory (same
+// filesystem, so the rename is atomic), then take the entry's name in
+// one rename. A reader or a crash can observe the old entry or the
+// new one, never a torn mix. Only the writer goroutine calls this, so
+// two writes never race on the temp name.
+func (s *Store) diskPut(key results.Key, data []byte) {
+	if err := faultPut.Hit(); err != nil {
+		// Injected write failure (the disk-full drill): drop the write
+		// and count it; the result still lives in the memory tier.
+		s.droppedDiskPuts.Add(1)
+		return
+	}
+	path := s.entryPath(key)
+	tmp := path + tmpExt
+	fail := func(err error) {
+		os.Remove(tmp)
+		s.droppedDiskPuts.Add(1)
+		s.log.Warn("store: disk write dropped", "key", string(key), "error", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fail(err)
+		return
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		fail(err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fail(err)
+		return
+	}
+	s.dmu.Lock()
+	s.clock++
+	if e, ok := s.entries[key]; ok {
+		s.diskBytes += int64(len(data)) - e.size
+		e.size = int64(len(data))
+		e.access = s.clock
+	} else {
+		s.entries[key] = &diskEntry{size: int64(len(data)), access: s.clock}
+		s.diskBytes += int64(len(data))
+	}
+	s.dmu.Unlock()
+	s.diskPuts.Add(1)
+	s.gc()
+}
+
+// gc enforces MaxBytes by deleting least-recently-accessed entries
+// until the disk tier fits. It runs on the writer goroutine (after
+// each put) and once at Open — never on a Get path — so lookups never
+// pay for eviction.
+func (s *Store) gc() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for {
+		s.dmu.Lock()
+		if s.diskBytes <= s.maxBytes || len(s.entries) == 0 {
+			s.dmu.Unlock()
+			return
+		}
+		var victim results.Key
+		var oldest uint64
+		first := true
+		for k, e := range s.entries {
+			if first || e.access < oldest {
+				victim, oldest, first = k, e.access, false
+			}
+		}
+		e := s.entries[victim]
+		s.diskBytes -= e.size
+		delete(s.entries, victim)
+		s.dmu.Unlock()
+		os.Remove(s.entryPath(victim))
+		s.gcEvictions.Add(1)
+	}
+}

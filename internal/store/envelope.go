@@ -1,0 +1,180 @@
+// Package store is mapsd's persistent, tiered, content-addressed
+// result store. It layers three tiers under one Get/Put surface, all
+// keyed by the canonical config hash from internal/results:
+//
+//	tier 0  memory  the existing results.Cache LRU — fastest, dies
+//	                with the process
+//	tier 1  disk    one file per key under Options.Dir, sharded by
+//	                hash prefix, each a versioned + checksummed JSON
+//	                envelope written via temp-file + atomic rename;
+//	                corrupt or truncated entries are quarantined, not
+//	                fatal, and a size-capped GC evicts the least
+//	                recently accessed files past Options.MaxBytes
+//	tier 2  peers   other mapsd daemons consulted over HTTP
+//	                (GET /v1/store/{key}) on a local miss, so a fleet
+//	                shares results instead of recomputing them
+//
+// A hit in a lower tier back-fills the tiers above it, so repeated
+// access migrates hot results toward memory. Every disk and peer
+// failure mode degrades to a miss — the daemon recomputes instead of
+// erroring — which the store.get / store.put / store.peer fault
+// points let chaos tests prove (docs/ROBUSTNESS.md).
+//
+// The on-disk and on-wire unit is the Envelope (see DESIGN.md §7):
+// the payload is the result's plain JSON, framed with a format
+// version, the content key, a kind tag selecting the Go type to
+// decode into, and a SHA-256 payload checksum, so a stored result can
+// be validated byte-for-byte years later or after a network hop.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/results"
+	"github.com/maps-sim/mapsim/internal/sim"
+)
+
+// Version is the envelope format version this build reads and
+// writes. Decode rejects (and the disk tier quarantines) any other
+// version rather than guessing at a foreign layout.
+const Version = 1
+
+// Envelope kinds: which Go type the payload decodes into.
+const (
+	// KindRun frames a *sim.Result.
+	KindRun = "run"
+	// KindSuite frames a *sim.SuiteResult.
+	KindSuite = "suite"
+)
+
+// ErrCorrupt is the sentinel wrapped by every Decode failure that
+// means "these bytes are not a valid envelope" — truncation, version
+// skew, checksum mismatch, or a key that doesn't match its frame. The
+// disk tier quarantines on it instead of failing the lookup.
+var ErrCorrupt = errors.New("store: corrupt envelope")
+
+// corrupt wraps a detail message in the ErrCorrupt sentinel.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Envelope frames one stored result on disk and on the wire.
+type Envelope struct {
+	// Version is the format version (see the package constant).
+	Version int `json:"version"`
+	// Key is the content address the payload was stored under; Decode
+	// verifies it is well-formed and callers verify it matches the key
+	// they asked for, so a renamed file or a confused peer can never
+	// serve the wrong result.
+	Key string `json:"key"`
+	// Kind selects the payload's Go type: KindRun or KindSuite.
+	Kind string `json:"kind"`
+	// Created records when the envelope was encoded (informational).
+	Created time.Time `json:"created"`
+	// Checksum is the hex SHA-256 of the raw Payload bytes.
+	Checksum string `json:"checksum"`
+	// Payload is the result's plain JSON encoding.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// ValidKey reports whether k is a well-formed content address: the
+// lowercase-hex SHA-256 the results package produces. Everything that
+// touches the filesystem or the HTTP path namespace checks this
+// first, so a hostile key can never escape the store directory.
+func ValidKey(k results.Key) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode frames value — a *sim.Result or *sim.SuiteResult — into an
+// envelope's JSON bytes under key. Any other type is an error: the
+// store only persists what it knows how to decode again.
+func Encode(key results.Key, value any) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q", key)
+	}
+	var kind string
+	switch value.(type) {
+	case *sim.Result:
+		kind = KindRun
+	case *sim.SuiteResult:
+		kind = KindSuite
+	default:
+		return nil, fmt.Errorf("store: cannot encode %T (want *sim.Result or *sim.SuiteResult)", value)
+	}
+	payload, err := json.Marshal(value)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(Envelope{
+		Version:  Version,
+		Key:      string(key),
+		Kind:     kind,
+		Created:  time.Now().UTC(),
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	})
+}
+
+// Decode parses and validates envelope bytes: well-formed JSON, the
+// current format version, a valid key, a known kind, and a payload
+// whose SHA-256 matches the recorded checksum. Every failure wraps
+// ErrCorrupt so callers can quarantine rather than crash.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, corrupt("bad JSON: %v", err)
+	}
+	if env.Version != Version {
+		return nil, corrupt("version %d (want %d)", env.Version, Version)
+	}
+	if !ValidKey(results.Key(env.Key)) {
+		return nil, corrupt("invalid key %q", env.Key)
+	}
+	if env.Kind != KindRun && env.Kind != KindSuite {
+		return nil, corrupt("unknown kind %q", env.Kind)
+	}
+	if len(env.Payload) == 0 {
+		return nil, corrupt("empty payload")
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.Checksum {
+		return nil, corrupt("checksum mismatch (payload %s, recorded %s)", got, env.Checksum)
+	}
+	return &env, nil
+}
+
+// Value decodes the payload into its Go type: *sim.Result for
+// KindRun, *sim.SuiteResult for KindSuite.
+func (e *Envelope) Value() (any, error) {
+	switch e.Kind {
+	case KindRun:
+		v := new(sim.Result)
+		if err := json.Unmarshal(e.Payload, v); err != nil {
+			return nil, corrupt("run payload: %v", err)
+		}
+		return v, nil
+	case KindSuite:
+		v := new(sim.SuiteResult)
+		if err := json.Unmarshal(e.Payload, v); err != nil {
+			return nil, corrupt("suite payload: %v", err)
+		}
+		return v, nil
+	default:
+		return nil, corrupt("unknown kind %q", e.Kind)
+	}
+}

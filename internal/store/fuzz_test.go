@@ -1,0 +1,54 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/results"
+	"github.com/maps-sim/mapsim/internal/sim"
+)
+
+// FuzzDecodeEnvelope throws arbitrary bytes at the envelope decoder —
+// the bytes a failing disk or a hostile peer could hand us. The
+// invariant is total robustness: Decode never panics, and anything it
+// accepts satisfies the full frame contract (current version, valid
+// key, known kind, checksum-verified payload that decodes).
+func FuzzDecodeEnvelope(f *testing.F) {
+	sum := sha256.Sum256([]byte("fuzz-seed"))
+	key := results.Key(hex.EncodeToString(sum[:]))
+	if valid, err := Encode(key, &sim.Result{Benchmark: "fft", Instructions: 1000, Cycles: 3000}); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"kind":"run","payload":{}}`))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if env.Version != Version {
+			t.Fatalf("accepted version %d", env.Version)
+		}
+		if !ValidKey(results.Key(env.Key)) {
+			t.Fatalf("accepted invalid key %q", env.Key)
+		}
+		if env.Kind != KindRun && env.Kind != KindSuite {
+			t.Fatalf("accepted unknown kind %q", env.Kind)
+		}
+		payloadSum := sha256.Sum256(env.Payload)
+		if hex.EncodeToString(payloadSum[:]) != env.Checksum {
+			t.Fatal("accepted checksum mismatch")
+		}
+		// An accepted envelope must also decode; Value may still reject
+		// (payload shape vs kind), but never panic.
+		if _, err := env.Value(); err != nil {
+			_ = err // acceptable: frame-valid, payload-shaped wrong
+		}
+	})
+}

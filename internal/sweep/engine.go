@@ -24,6 +24,33 @@ type PointResult struct {
 	Cached bool `json:"cached,omitempty"`
 }
 
+// Cache is the result-store surface the engine dedupes through:
+// tier-agnostic Get/Put keyed by content address. The persistent
+// tiered store (internal/store, whose Get may consult disk and peers
+// under ctx) and the MemCache adapter over a bare results.Cache both
+// satisfy it.
+type Cache interface {
+	// Get returns the stored value for key; ctx bounds any remote
+	// tier lookups.
+	Get(ctx context.Context, key results.Key) (any, bool)
+	// Put stores value under key.
+	Put(key results.Key, value any)
+}
+
+// MemCache adapts a bare in-memory results.Cache to the Cache
+// interface for callers with no persistent store.
+type MemCache struct {
+	// C is the wrapped cache.
+	C *results.Cache
+}
+
+// Get looks key up in the wrapped cache; ctx is ignored (memory
+// lookups never block).
+func (m MemCache) Get(_ context.Context, key results.Key) (any, bool) { return m.C.Get(key) }
+
+// Put stores value in the wrapped cache.
+func (m MemCache) Put(key results.Key, value any) { m.C.Put(key, value) }
+
 // Engine shards a sweep across a worker pool. Pool is required; the
 // rest is optional.
 type Engine struct {
@@ -33,7 +60,7 @@ type Engine struct {
 	Pool *jobs.Pool
 	// Cache, when set, dedupes points against previously computed
 	// results (by results.PointKeyFor) and stores fresh ones.
-	Cache *results.Cache
+	Cache Cache
 	// OnPoint, when set, observes every completed point — cached or
 	// simulated — in completion order, from multiple goroutines (the
 	// engine serializes the calls). Server progress streaming hangs off
@@ -96,7 +123,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 
 	for _, p := range points {
-		key, hit := e.lookup(spec, p)
+		key, hit := e.lookup(ctx, spec, p)
 		if hit != nil {
 			deliver(PointResult{Point: p, Result: hit, Cached: true})
 			continue
@@ -153,7 +180,7 @@ func cacheNames(p Point) (string, string) {
 // dedupe hit. A point whose config cannot be canonicalized sweeps
 // uncached rather than failing — Expand already rejected the
 // uncacheable base shapes, so this is belt and braces.
-func (e *Engine) lookup(spec Spec, p Point) (results.Key, *sim.Result) {
+func (e *Engine) lookup(ctx context.Context, spec Spec, p Point) (results.Key, *sim.Result) {
 	if e.Cache == nil {
 		return "", nil
 	}
@@ -165,7 +192,7 @@ func (e *Engine) lookup(spec Spec, p Point) (results.Key, *sim.Result) {
 	if spec.NoCache {
 		return key, nil
 	}
-	if v, ok := e.Cache.Get(key); ok {
+	if v, ok := e.Cache.Get(ctx, key); ok {
 		if r, ok := v.(*sim.Result); ok {
 			return key, r
 		}

@@ -136,7 +136,7 @@ func TestEngineDedupe(t *testing.T) {
 	cache := results.New(64)
 
 	spec := fig1Spec()
-	eng := &Engine{Pool: pool, Cache: cache}
+	eng := &Engine{Pool: pool, Cache: MemCache{C: cache}}
 	first, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
