@@ -6,10 +6,11 @@
 GO ?= go
 
 # Packages with real concurrency (worker pool, server, suite fan-out,
-# result cache, fault injection, sweep engine, tiered result store) —
-# the ones -race can actually catch regressions in. The server list
+# result cache, fault injection, sweep engine, tiered result store,
+# fleet coordinator, and the root package's fleet e2e tests) — the
+# ones -race can actually catch regressions in. The server list
 # includes the chaos tests.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store ./internal/fleet .
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
@@ -18,7 +19,7 @@ BENCH_PKG := ./internal/sim
 # Allowed fractional ns/op growth before benchcheck fails the build.
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: check build fmt lint test vet race bench benchcheck fuzzsmoke run-mapsd
+.PHONY: check build fmt lint test vet race bench benchcheck fuzzsmoke run-mapsd fleet-demo
 
 check: build fmt vet lint test race fuzzsmoke benchcheck
 
@@ -67,3 +68,9 @@ benchcheck:
 
 run-mapsd:
 	$(GO) run ./cmd/mapsd
+
+# Three-daemon fleet smoke test: two worker daemons plus a coordinator
+# registered to both via -fleet, one small sweep fanned across them,
+# per-worker attribution printed at the end. See docs/FLEET.md.
+fleet-demo:
+	./scripts/fleet_demo.sh

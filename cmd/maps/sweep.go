@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -161,8 +162,23 @@ func runSweepRemote(baseURL string, axes sweep.Axes, instructions uint64, secure
 		// terminal line) so big sweeps don't flood stderr.
 		if st.State.Terminal() || time.Since(last) >= time.Second {
 			last = time.Now()
-			fmt.Fprintf(os.Stderr, "[sweep %s: %d/%d points, %d deduped]\n",
-				st.ID, st.Done, st.Total, st.Deduped)
+			// Per-worker attribution ("local:12 http://w2:3") lets an
+			// operator spot fleet skew from the progress feed alone.
+			var byWorker string
+			if len(st.Workers) > 0 {
+				names := make([]string, 0, len(st.Workers))
+				for name := range st.Workers {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				parts := make([]string, len(names))
+				for i, name := range names {
+					parts[i] = fmt.Sprintf("%s:%d", name, st.Workers[name])
+				}
+				byWorker = ", " + strings.Join(parts, " ")
+			}
+			fmt.Fprintf(os.Stderr, "[sweep %s: %d/%d points, %d deduped%s]\n",
+				st.ID, st.Done, st.Total, st.Deduped, byWorker)
 		}
 	})
 }

@@ -9,6 +9,7 @@
 //
 //	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
 //	      [-store-dir DIR] [-store-max-bytes SIZE] [-peers URL,...]
+//	      [-fleet URL,...] [-fleet-inflight N] [-straggler-after DUR]
 //	      [-log-format text|json] [-v] [-pprof] [-faults SPEC]
 //
 // Endpoints (see internal/server and docs/OBSERVABILITY.md):
@@ -39,6 +40,16 @@
 // graceful drain, and a one-line store summary is logged at startup
 // and shutdown.
 //
+// -fleet registers other mapsd daemons as sweep workers: every
+// POST /v1/sweeps fans its grid points out over this daemon's own
+// pool plus the registered workers, with bounded in-flight work per
+// worker (-fleet-inflight), health gating via each worker's /readyz,
+// work stealing, and straggler re-issue after -straggler-after
+// (negative disables it). Results dedupe exactly-once through the
+// result store's canonical config hashes, so pointing -peers at the
+// same daemons lets the fleet share results instead of recomputing
+// them. See docs/FLEET.md for the operator guide.
+//
 // -faults (default: the MAPSD_FAULTS environment variable) arms
 // deterministic fault injection for chaos drills, e.g.
 // "jobs.run:err:0.01,results.put:err:0.05" — see docs/ROBUSTNESS.md.
@@ -60,6 +71,7 @@ import (
 	"github.com/maps-sim/mapsim"
 	"github.com/maps-sim/mapsim/internal/cliutil"
 	"github.com/maps-sim/mapsim/internal/faults"
+	"github.com/maps-sim/mapsim/internal/fleet"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/server"
@@ -90,6 +102,22 @@ func buildPeers(spec string) []store.Peer {
 	return peers
 }
 
+// buildFleet turns the -fleet list into remote sweep workers over the
+// retrying mapsim.Client. Client retries stay at their defaults: a
+// dispatched point is worth a few retransmits before the coordinator
+// writes the worker off and re-issues elsewhere.
+func buildFleet(spec string, maxInflight int) []fleet.Worker {
+	var workers []fleet.Worker
+	for _, u := range strings.Split(spec, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		workers = append(workers, mapsim.FleetWorker(mapsim.NewClient(u), maxInflight))
+	}
+	return workers
+}
+
 func main() {
 	addr := flag.String("addr", ":8750", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "simulation worker count")
@@ -98,6 +126,9 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persistent result-store directory (empty = memory-only)")
 	storeMax := flag.String("store-max-bytes", "1GB", "disk-tier size cap before GC evicts least-recently-accessed results (0 = unlimited)")
 	peersSpec := flag.String("peers", "", "comma-separated peer mapsd base URLs consulted on local store misses")
+	fleetSpec := flag.String("fleet", "", "comma-separated worker mapsd base URLs sweeps fan out to (this daemon's pool is always the first worker)")
+	fleetInflight := flag.Int("fleet-inflight", 2, "max in-flight sweep points per fleet worker")
+	stragglerAfter := flag.Duration("straggler-after", 30*time.Second, "re-issue a sweep point still in flight on one worker after this long (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
 	verbose := flag.Bool("v", false, "verbose logging (Debug level: spans, scrapes)")
@@ -144,12 +175,24 @@ func main() {
 	logger.Info("result store open",
 		"dir", storeDirLabel, "entries", ss.DiskEntries, "bytes", ss.DiskBytes, "peers", ss.Peers)
 
+	fleetWorkers := buildFleet(*fleetSpec, *fleetInflight)
+	if len(fleetWorkers) > 0 {
+		names := make([]string, len(fleetWorkers))
+		for i, w := range fleetWorkers {
+			names[i] = w.Runner.Name()
+		}
+		logger.Info("fleet workers registered",
+			"workers", names, "max_inflight", *fleetInflight, "straggler_after", *stragglerAfter)
+	}
+
 	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		Store:       st,
-		Logger:      logger,
-		EnablePprof: *withPprof,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		Store:               st,
+		Logger:              logger,
+		EnablePprof:         *withPprof,
+		Fleet:               fleetWorkers,
+		FleetStragglerAfter: *stragglerAfter,
 	})
 	// Timeouts bound every connection phase so one stalled client
 	// cannot pin a goroutine: headers in 10s, the whole request in

@@ -79,7 +79,8 @@ func TestRepoPackagesFullyDocumented(t *testing.T) {
 		"../faults",
 		"../sweep",
 		"../store",
-		"../..", // root package: client.go, mapsim.go
+		"../fleet",
+		"../..", // root package: client.go, mapsim.go, worker.go
 	} {
 		missing, err := MissingDocs(dir)
 		if err != nil {

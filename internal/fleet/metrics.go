@@ -1,0 +1,122 @@
+package fleet
+
+import "sync"
+
+// WorkerStats counts one worker's fleet activity since process start.
+type WorkerStats struct {
+	// Inflight is the worker's currently dispatched point count.
+	Inflight int
+	// Done counts points this worker completed (winning completions
+	// only — discarded duplicates from steals are not counted).
+	Done uint64
+	// Steals counts points this worker picked up while another worker
+	// was still running them.
+	Steals uint64
+	// Reissues counts straggler re-issues charged to this worker (it
+	// held the point past the straggler deadline).
+	Reissues uint64
+	// Failures counts worker-failure outcomes (dispatch faults,
+	// transport errors, worker overload or death).
+	Failures uint64
+	// Unhealthy counts healthy→unhealthy probe transitions.
+	Unhealthy uint64
+}
+
+// Metrics accumulates per-worker dispatch counters across every sweep
+// a coordinator runs. Safe for concurrent use; a nil *Metrics
+// discards all updates, so callers never need to guard.
+type Metrics struct {
+	mu      sync.Mutex
+	workers map[string]*WorkerStats
+}
+
+// stat returns the named worker's mutable stats; callers hold mu.
+func (m *Metrics) stat(name string) *WorkerStats {
+	if m.workers == nil {
+		m.workers = make(map[string]*WorkerStats)
+	}
+	s := m.workers[name]
+	if s == nil {
+		s = &WorkerStats{}
+		m.workers[name] = s
+	}
+	return s
+}
+
+// dispatch records a point pickup (and the steal, if it was one).
+func (m *Metrics) dispatch(name string, steal bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	s := m.stat(name)
+	s.Inflight++
+	if steal {
+		s.Steals++
+	}
+	m.mu.Unlock()
+}
+
+// finish records a dispatch ending, whatever the outcome.
+func (m *Metrics) finish(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stat(name).Inflight--
+	m.mu.Unlock()
+}
+
+// donePoint records a winning completion.
+func (m *Metrics) donePoint(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stat(name).Done++
+	m.mu.Unlock()
+}
+
+// failure records a worker-failure outcome.
+func (m *Metrics) failure(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stat(name).Failures++
+	m.mu.Unlock()
+}
+
+// reissue records a straggler re-issue charged to name.
+func (m *Metrics) reissue(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stat(name).Reissues++
+	m.mu.Unlock()
+}
+
+// unhealthy records a healthy→unhealthy transition.
+func (m *Metrics) unhealthy(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stat(name).Unhealthy++
+	m.mu.Unlock()
+}
+
+// Snapshot copies the per-worker counters for metrics export.
+func (m *Metrics) Snapshot() map[string]WorkerStats {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]WorkerStats, len(m.workers))
+	for name, s := range m.workers {
+		out[name] = *s
+	}
+	return out
+}

@@ -45,11 +45,13 @@ import (
 
 	"github.com/maps-sim/mapsim/internal/experiments"
 	"github.com/maps-sim/mapsim/internal/faults"
+	"github.com/maps-sim/mapsim/internal/fleet"
 	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/store"
+	"github.com/maps-sim/mapsim/internal/sweep"
 	"github.com/maps-sim/mapsim/internal/workload"
 )
 
@@ -98,6 +100,16 @@ type Config struct {
 	// JobRetryBase is the first retry backoff, doubling per attempt
 	// (default 50ms).
 	JobRetryBase time.Duration
+	// Fleet lists remote sweep workers (typically mapsim.NewWorkerRunner
+	// adapters over other daemons, registered via cmd/mapsd -fleet).
+	// Sweeps always dispatch through a fleet coordinator; this daemon's
+	// own pool is implicitly the first worker, so an empty Fleet is the
+	// single-node configuration.
+	Fleet []fleet.Worker
+	// FleetStragglerAfter re-issues a sweep point still in flight on
+	// one worker after this long to another (default 30s; negative
+	// disables straggler re-issue).
+	FleetStragglerAfter time.Duration
 }
 
 func (c *Config) fill() {
@@ -118,6 +130,11 @@ func (c *Config) fill() {
 	}
 	if c.JobRetryBase <= 0 {
 		c.JobRetryBase = 50 * time.Millisecond
+	}
+	if c.FleetStragglerAfter == 0 {
+		c.FleetStragglerAfter = 30 * time.Second
+	} else if c.FleetStragglerAfter < 0 {
+		c.FleetStragglerAfter = 0 // disabled
 	}
 }
 
@@ -156,6 +173,13 @@ type Server struct {
 	// goroutines and shard points into the pool.
 	sweeps   map[string]*sweepJob
 	sweepSeq uint64
+
+	// Fleet dispatch state: registered remote workers, the straggler
+	// deadline, and the cumulative per-worker counters behind the
+	// mapsd_fleet_* metric family.
+	fleetWorkers   []fleet.Worker
+	stragglerAfter time.Duration
+	fleetMetrics   *fleet.Metrics
 
 	// Cumulative sweep counters for the mapsd_sweep_* metric family.
 	sweepsStarted      atomic.Uint64
@@ -206,6 +230,10 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		phaseSecs: make(map[string]float64),
 		maxBody:   cfg.MaxBodyBytes,
+
+		fleetWorkers:   cfg.Fleet,
+		stragglerAfter: cfg.FleetStragglerAfter,
+		fleetMetrics:   &fleet.Metrics{},
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -375,13 +403,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad config: %v", err)
 			return
 		}
-		key, err = results.KeyFor(cfg)
+		pol, part, err := req.Config.pointNames()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad config: %v", err)
 			return
 		}
-		fn = s.runFn(cfg, key, prog)
+		key, err = results.PointKeyFor(cfg, pol, part)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+		fn = s.runFn(cfg, pol, part, key, prog)
 	case TypeSuite:
+		if req.Config.Meta != nil && (req.Config.Meta.Policy != "" || req.Config.Meta.Partition != "") {
+			// Suites share one config across the fan-out; stateful
+			// policy instances must not be shared, so suites always
+			// run the defaults.
+			writeError(w, http.StatusBadRequest, "suite jobs cannot set meta.policy or meta.partition")
+			return
+		}
 		benchmarks := req.Benchmarks
 		if len(benchmarks) == 0 {
 			benchmarks = workload.Names()
@@ -490,15 +530,21 @@ func (s *Server) jobCtx(ctx context.Context, typ string, attrs ...any) context.C
 	return obs.Into(ctx, l)
 }
 
-// runFn wraps one simulation as a pool job: run under ctx, account
+// runFn wraps one simulation as a pool job: instantiate the point's
+// policy/partition fresh per attempt (sweep.Instantiate — retries
+// must never see a warmed instance), run under ctx, account
 // throughput and phase timings, populate the cache.
-func (s *Server) runFn(cfg sim.Config, key results.Key, prog *obs.Progress) jobs.Fn {
+func (s *Server) runFn(cfg sim.Config, policy, partition string, key results.Key, prog *obs.Progress) jobs.Fn {
 	cfg.Progress = prog
 	return func(ctx context.Context) (any, error) {
 		defer s.clearInflight(key, jobs.IDFromContext(ctx))
 		ctx = s.jobCtx(ctx, TypeRun, "benchmark", cfg.Benchmark)
+		runCfg, err := sweep.Instantiate(sweep.Point{Config: cfg, Policy: policy, Partition: partition})
+		if err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
-		res, err := sim.RunContext(ctx, cfg)
+		res, err := sim.RunContext(ctx, runCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -756,6 +802,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_done_total counter\nmapsd_sweep_points_done_total %d\n", ss.PointsDone)
 	fmt.Fprintf(w, "# HELP mapsd_sweep_points_deduped_total Sweep points served from the results cache without simulating.\n")
 	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_deduped_total counter\nmapsd_sweep_points_deduped_total %d\n", ss.PointsDeduped)
+
+	// Fleet dispatch counters, one labeled series per worker this
+	// coordinator has ever dispatched to ("local" is this daemon's own
+	// pool). Sorted so the exposition is deterministic.
+	fs := s.fleetMetrics.Snapshot()
+	fleetNames := make([]string, 0, len(fs))
+	for name := range fs {
+		fleetNames = append(fleetNames, name)
+	}
+	sort.Strings(fleetNames)
+	fmt.Fprintf(w, "# HELP mapsd_fleet_workers Sweep workers this coordinator dispatches to (local pool included).\n")
+	fmt.Fprintf(w, "# TYPE mapsd_fleet_workers gauge\nmapsd_fleet_workers %d\n", len(s.fleetWorkers)+1)
+	if len(fleetNames) > 0 {
+		fmt.Fprintf(w, "# HELP mapsd_fleet_inflight Sweep points currently dispatched, per worker.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_inflight gauge\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_inflight{worker=%q} %d\n", n, fs[n].Inflight)
+		}
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_points_done_total counter\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_points_done_total{worker=%q} %d\n", n, fs[n].Done)
+		}
+		fmt.Fprintf(w, "# HELP mapsd_fleet_steals_total Points a worker picked up while another worker was still running them.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_steals_total counter\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_steals_total{worker=%q} %d\n", n, fs[n].Steals)
+		}
+		fmt.Fprintf(w, "# HELP mapsd_fleet_reissues_total Straggler re-issues charged to the worker that held the point.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_reissues_total counter\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_reissues_total{worker=%q} %d\n", n, fs[n].Reissues)
+		}
+		fmt.Fprintf(w, "# HELP mapsd_fleet_worker_failures_total Dispatches that failed for worker (not simulation) reasons; each was re-issued up to the attempt cap.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_worker_failures_total counter\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_worker_failures_total{worker=%q} %d\n", n, fs[n].Failures)
+		}
+		fmt.Fprintf(w, "# HELP mapsd_fleet_unhealthy_total Healthy-to-unhealthy probe transitions, per worker.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_fleet_unhealthy_total counter\n")
+		for _, n := range fleetNames {
+			fmt.Fprintf(w, "mapsd_fleet_unhealthy_total{worker=%q} %d\n", n, fs[n].Unhealthy)
+		}
+	}
 
 	done, total := s.inflightProgress()
 	fmt.Fprintf(w, "# HELP mapsd_inflight_instructions_done Instructions retired by jobs not yet finished.\n")

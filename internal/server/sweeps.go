@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/maps-sim/mapsim/internal/fleet"
 	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/sweep"
 )
@@ -114,6 +115,13 @@ type SweepStatus struct {
 	Error    string    `json:"error,omitempty"`
 	Created  time.Time `json:"created"`
 	Finished time.Time `json:"finished,omitempty"`
+	// Worker names the fleet worker that executed the most recently
+	// completed point (empty for cached points), so each ?watch=1
+	// stream line attributes the completion it reports.
+	Worker string `json:"worker,omitempty"`
+	// Workers counts completed points per fleet worker across the
+	// sweep, so operators can see skew at a glance.
+	Workers map[string]int `json:"workers,omitempty"`
 }
 
 // sweepJob is the server-side record of one sweep run.
@@ -125,11 +133,19 @@ type sweepJob struct {
 	done   chan struct{} // closed on reaching a terminal state
 }
 
-// snapshot copies the current status under the lock.
+// snapshot copies the current status under the lock, deep-copying the
+// per-worker map so readers never alias the live counters.
 func (j *sweepJob) snapshot() SweepStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status
+	st := j.status
+	if j.status.Workers != nil {
+		st.Workers = make(map[string]int, len(j.status.Workers))
+		for k, v := range j.status.Workers {
+			st.Workers[k] = v
+		}
+	}
+	return st
 }
 
 // registerSweepRoutes mounts the sweep endpoints on the API mux.
@@ -199,17 +215,40 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweepsStarted.Add(1)
 	s.sweepPointsPlanned.Add(uint64(len(points)))
 
-	eng := &sweep.Engine{
-		Pool:        s.pool,
-		Cache:       s.store,
-		Parallelism: req.Parallelism,
-		Timeout:     time.Duration(req.TimeoutSec * float64(time.Second)),
+	// Every sweep dispatches through a fleet coordinator: this
+	// daemon's pool is the first worker (bounded by the request's
+	// parallelism), registered remotes are the rest. With no remotes
+	// this degenerates to exactly the single-node engine's behavior.
+	parallelism := req.Parallelism
+	if parallelism <= 0 {
+		parallelism = s.pool.Stats().Workers
+	}
+	workers := make([]fleet.Worker, 0, len(s.fleetWorkers)+1)
+	workers = append(workers, fleet.Worker{
+		Runner:      &fleet.PoolRunner{Pool: s.pool},
+		MaxInflight: parallelism,
+	})
+	workers = append(workers, s.fleetWorkers...)
+	coord := &fleet.Coordinator{
+		Workers:        workers,
+		Cache:          s.store,
+		Timeout:        time.Duration(req.TimeoutSec * float64(time.Second)),
+		StragglerAfter: s.stragglerAfter,
+		Metrics:        s.fleetMetrics,
+		Logger:         s.log,
 		OnPoint: func(pr sweep.PointResult) {
 			j.mu.Lock()
 			j.status.Done++
 			if pr.Cached {
 				j.status.Deduped++
 				s.sweepPointsDeduped.Add(1)
+			}
+			j.status.Worker = pr.Worker
+			if pr.Worker != "" {
+				if j.status.Workers == nil {
+					j.status.Workers = make(map[string]int)
+				}
+				j.status.Workers[pr.Worker]++
 			}
 			j.mu.Unlock()
 			s.sweepPointsDone.Add(1)
@@ -220,7 +259,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	// point jobs could deadlock a full pool against itself.
 	go func() {
 		defer cancel()
-		res, err := eng.Run(ctx, spec)
+		res, err := coord.Run(ctx, spec)
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		j.status.Finished = time.Now()

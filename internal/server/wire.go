@@ -2,14 +2,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/maps-sim/mapsim/internal/cliutil"
+	"github.com/maps-sim/mapsim/internal/dram"
+	"github.com/maps-sim/mapsim/internal/hierarchy"
 	"github.com/maps-sim/mapsim/internal/jobs"
 	"github.com/maps-sim/mapsim/internal/memlayout"
 	"github.com/maps-sim/mapsim/internal/metacache"
 	"github.com/maps-sim/mapsim/internal/sim"
+	"github.com/maps-sim/mapsim/internal/sweep"
 )
 
 // Job types accepted by POST /v1/jobs.
@@ -46,9 +51,11 @@ func (b *ByteSize) UnmarshalJSON(data []byte) error {
 }
 
 // MetaSpec is the wire form of metacache.Config. Replacement policy
-// and partitioning are deliberately absent: they are stateful
-// instances with no canonical encoding, so jobs always run the
-// pseudo-LRU default (the paper's baseline) and stay cacheable.
+// and partitioning travel as names, not instances: the server
+// instantiates fresh stateful policy/partition objects per run (via
+// sweep.Instantiate, the same path grid points take), and the names
+// feed results.PointKeyFor so remotely executed sweep points land on
+// exactly the same content address a local run would.
 type MetaSpec struct {
 	Size ByteSize `json:"size"`
 	// Ways defaults to 8 (Table I).
@@ -57,24 +64,47 @@ type MetaSpec struct {
 	// "counters+hashes", "all", ...); empty means all.
 	Content       string `json:"content,omitempty"`
 	PartialWrites bool   `json:"partial_writes,omitempty"`
+	// Policy names the replacement policy ("plru", "lru", "srrip",
+	// "eva", ...); empty means the pseudo-LRU default. Run jobs only —
+	// suites always run the default.
+	Policy string `json:"policy,omitempty"`
+	// Partition names the way-partition scheme; empty means none.
+	// Run jobs only.
+	Partition string `json:"partition,omitempty"`
+}
+
+// HierarchySpec is the wire form of hierarchy.Config: per-level cache
+// sizes and associativities. Omitting the whole block keeps Table I's
+// defaults; a partially filled block is taken literally (the
+// simulator rejects impossible shapes at run time), so senders should
+// fill every level — which is what SpecFromSim does.
+type HierarchySpec struct {
+	L1Size ByteSize `json:"l1_size,omitempty"`
+	L1Ways int      `json:"l1_ways,omitempty"`
+	L2Size ByteSize `json:"l2_size,omitempty"`
+	L2Ways int      `json:"l2_ways,omitempty"`
+	L3Size ByteSize `json:"l3_size,omitempty"`
+	L3Ways int      `json:"l3_ways,omitempty"`
 }
 
 // ConfigSpec is the wire form of sim.Config: the JSON-expressible
-// subset (no Workload, Tap, Policy, or Partition — exactly the fields
-// sim.Config.Canonical admits). Zero fields take the simulator's
-// defaults, except Secure which defaults to true — a secure-memory
-// service that silently simulated insecure baselines would be a trap.
+// subset (no Workload or Tap — exactly the fields sim.Config.Canonical
+// admits, with policy/partition as names). Zero fields take the
+// simulator's defaults, except Secure which defaults to true — a
+// secure-memory service that silently simulated insecure baselines
+// would be a trap.
 type ConfigSpec struct {
-	Benchmark         string    `json:"benchmark"`
-	Instructions      uint64    `json:"instructions,omitempty"`
-	Warmup            uint64    `json:"warmup,omitempty"`
-	Seed              int64     `json:"seed,omitempty"`
-	Secure            *bool     `json:"secure,omitempty"`
-	Org               string    `json:"org,omitempty"` // "pi" (default) or "sgx"
-	Speculation       bool      `json:"speculation,omitempty"`
-	SpeculationWindow uint64    `json:"speculation_window,omitempty"`
-	Meta              *MetaSpec `json:"meta,omitempty"`
-	BaseCPI           float64   `json:"base_cpi,omitempty"`
+	Benchmark         string         `json:"benchmark"`
+	Instructions      uint64         `json:"instructions,omitempty"`
+	Warmup            uint64         `json:"warmup,omitempty"`
+	Seed              int64          `json:"seed,omitempty"`
+	Secure            *bool          `json:"secure,omitempty"`
+	Org               string         `json:"org,omitempty"` // "pi" (default) or "sgx"
+	Speculation       bool           `json:"speculation,omitempty"`
+	SpeculationWindow uint64         `json:"speculation_window,omitempty"`
+	Hierarchy         *HierarchySpec `json:"hierarchy,omitempty"`
+	Meta              *MetaSpec      `json:"meta,omitempty"`
+	BaseCPI           float64        `json:"base_cpi,omitempty"`
 }
 
 // ToSim translates the wire config into a sim.Config.
@@ -91,6 +121,13 @@ func (c ConfigSpec) ToSim() (sim.Config, error) {
 	}
 	if c.Secure != nil {
 		cfg.Secure = *c.Secure
+	}
+	if c.Hierarchy != nil {
+		cfg.Hierarchy = hierarchy.Config{
+			L1Size: int(c.Hierarchy.L1Size), L1Ways: c.Hierarchy.L1Ways,
+			L2Size: int(c.Hierarchy.L2Size), L2Ways: c.Hierarchy.L2Ways,
+			L3Size: int(c.Hierarchy.L3Size), L3Ways: c.Hierarchy.L3Ways,
+		}
 	}
 	switch c.Org {
 	case "", "pi", "poisonivy":
@@ -120,6 +157,102 @@ func (c ConfigSpec) ToSim() (sim.Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// pointNames extracts and validates the config's replacement-policy
+// and partition names, normalized so the defaults map to "" — sharing
+// content addresses with plain default-policy jobs, exactly as
+// sweep.CacheNames does for grid points.
+func (c ConfigSpec) pointNames() (string, string, error) {
+	if c.Meta == nil {
+		return "", "", nil
+	}
+	pol := strings.ToLower(strings.TrimSpace(c.Meta.Policy))
+	part := strings.ToLower(strings.TrimSpace(c.Meta.Partition))
+	if _, err := sweep.NewPolicy(pol); err != nil {
+		return "", "", err
+	}
+	if _, err := sweep.NewPartition(part); err != nil {
+		return "", "", err
+	}
+	if pol == sweep.DefaultPolicy {
+		pol = ""
+	}
+	if part == sweep.DefaultPartition {
+		part = ""
+	}
+	return pol, part, nil
+}
+
+// SpecFromSim converts a materialized simulation config back to its
+// wire form — the inverse of ConfigSpec.ToSim — so a coordinator can
+// dispatch sweep grid points to remote workers. The policy and
+// partition names (a point's, already normalized or not) ride in
+// Meta. Configs carrying state or fields the wire cannot express
+// (Workload, Tap, custom DRAM timing, custom hit latencies) are
+// rejected: a remote worker would silently simulate something else.
+func SpecFromSim(cfg sim.Config, policy, partition string) (ConfigSpec, error) {
+	switch {
+	case cfg.Workload != nil:
+		return ConfigSpec{}, errors.New("config with a caller-supplied Workload is not wire-expressible")
+	case cfg.Tap != nil:
+		return ConfigSpec{}, errors.New("config with a Tap is not wire-expressible")
+	case cfg.DRAM != (dram.Config{}):
+		return ConfigSpec{}, errors.New("config with custom DRAM timing is not wire-expressible")
+	case cfg.L2HitLatency != 0 || cfg.L3HitLatency != 0:
+		return ConfigSpec{}, errors.New("config with custom hit latencies is not wire-expressible")
+	}
+	secure := cfg.Secure
+	spec := ConfigSpec{
+		Benchmark:         cfg.Benchmark,
+		Instructions:      cfg.Instructions,
+		Warmup:            cfg.Warmup,
+		Seed:              cfg.Seed,
+		Secure:            &secure,
+		Speculation:       cfg.Speculation,
+		SpeculationWindow: cfg.SpeculationWindow,
+		BaseCPI:           cfg.BaseCPI,
+	}
+	switch cfg.Org {
+	case memlayout.PoisonIvy:
+		spec.Org = "pi"
+	case memlayout.SGX:
+		spec.Org = "sgx"
+	default:
+		return ConfigSpec{}, fmt.Errorf("unknown organization %v is not wire-expressible", cfg.Org)
+	}
+	h := cfg.Hierarchy
+	h.DisableFastPath = false // erased in canonicalization, carries no identity
+	if h != (hierarchy.Config{}) {
+		spec.Hierarchy = &HierarchySpec{
+			L1Size: ByteSize(h.L1Size), L1Ways: h.L1Ways,
+			L2Size: ByteSize(h.L2Size), L2Ways: h.L2Ways,
+			L3Size: ByteSize(h.L3Size), L3Ways: h.L3Ways,
+		}
+	}
+	if cfg.Meta != nil {
+		if cfg.Meta.Policy != nil || cfg.Meta.Partition != nil {
+			return ConfigSpec{}, errors.New("config with a stateful Meta.Policy or Meta.Partition is not wire-expressible (send names instead)")
+		}
+		content := ""
+		if cfg.Meta.Content != 0 {
+			content = cfg.Meta.Content.String()
+			if _, err := metacache.ParseContent(content); err != nil {
+				return ConfigSpec{}, fmt.Errorf("content policy %v is not wire-expressible", cfg.Meta.Content)
+			}
+		}
+		spec.Meta = &MetaSpec{
+			Size:          ByteSize(cfg.Meta.Size),
+			Ways:          cfg.Meta.Ways,
+			Content:       content,
+			PartialWrites: cfg.Meta.PartialWrites,
+			Policy:        policy,
+			Partition:     partition,
+		}
+	} else if policy != "" || partition != "" {
+		return ConfigSpec{}, errors.New("policy/partition names require a metadata cache")
+	}
+	return spec, nil
 }
 
 // JobRequest is the body of POST /v1/jobs.

@@ -126,6 +126,13 @@ func (c Config) Canonical() (Config, error) {
 		metaCopy := *c.Meta
 		c.Meta = &metaCopy
 		c.Meta.DisableFastPath = false
+		if c.Meta.Content == 0 {
+			// metacache.New defaults an unset content policy to
+			// AllTypes; mirror it so a zero and an explicit AllTypes
+			// config — which simulate identically — hash identically
+			// (the fleet's wire round-trip depends on this).
+			c.Meta.Content = metacache.AllTypes
+		}
 	}
 	c.fillDefaults()
 	// The fast and generic paths produce bit-identical results, so the

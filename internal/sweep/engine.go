@@ -22,6 +22,9 @@ type PointResult struct {
 	// Cached marks a point served from the results cache without
 	// re-simulating.
 	Cached bool `json:"cached,omitempty"`
+	// Worker names the fleet worker that executed the point; empty for
+	// cached points and for single-node sweeps run through Engine.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Cache is the result-store surface the engine dedupes through:
@@ -157,14 +160,16 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res.Wall = time.Since(start)
-	res.aggregate()
+	res.Aggregate()
 	return res, nil
 }
 
-// cacheNames maps a point's normalized policy/partition names to the
-// form PointKeyFor wants: empty for the defaults, so default points
-// share cache entries with plain run jobs.
-func cacheNames(p Point) (string, string) {
+// CacheNames maps a point's normalized policy/partition names to the
+// form results.PointKeyFor wants: empty for the defaults, so default
+// points share cache entries with plain run jobs. The fleet
+// coordinator and the remote-worker adapter use the same mapping, so
+// one grid point has one content address everywhere in the fleet.
+func CacheNames(p Point) (string, string) {
 	pol, part := p.Policy, p.Partition
 	if pol == DefaultPolicy {
 		pol = ""
@@ -184,7 +189,7 @@ func (e *Engine) lookup(ctx context.Context, spec Spec, p Point) (results.Key, *
 	if e.Cache == nil {
 		return "", nil
 	}
-	pol, part := cacheNames(p)
+	pol, part := CacheNames(p)
 	key, err := results.PointKeyFor(p.Config, pol, part)
 	if err != nil {
 		return "", nil
@@ -200,21 +205,25 @@ func (e *Engine) lookup(ctx context.Context, spec Spec, p Point) (results.Key, *
 	return key, nil
 }
 
-// runPoint executes one point as a pool job, instantiating fresh
-// policy/partition state — they are stateful, so concurrent points
-// must never share instances.
-func (e *Engine) runPoint(ctx context.Context, p Point) (*sim.Result, error) {
+// Instantiate materializes a point's runnable sim.Config: fresh
+// replacement-policy and partition-scheme instances (they are
+// stateful, so concurrent points must never share them) over a copied
+// Meta the simulator can't alias back into the spec. Every executor —
+// the local engine, the fleet's pool runner, and a worker daemon
+// running a dispatched point — builds its config through this one
+// path, which is what keeps fleet results bit-identical to local ones.
+func Instantiate(p Point) (sim.Config, error) {
 	cfg := p.Config
 	if cfg.Meta != nil && (p.Policy != "" && p.Policy != DefaultPolicy ||
 		p.Partition != "" && p.Partition != DefaultPartition) {
 		mc := *cfg.Meta
 		pol, err := NewPolicy(p.Policy)
 		if err != nil {
-			return nil, err
+			return sim.Config{}, err
 		}
 		part, err := NewPartition(p.Partition)
 		if err != nil {
-			return nil, err
+			return sim.Config{}, err
 		}
 		mc.Policy = pol
 		mc.Partition = part
@@ -223,7 +232,16 @@ func (e *Engine) runPoint(ctx context.Context, p Point) (*sim.Result, error) {
 		mc := *cfg.Meta // never let the simulator share the spec's Meta
 		cfg.Meta = &mc
 	}
+	return cfg, nil
+}
+
+// runPoint executes one point as a pool job via Instantiate.
+func (e *Engine) runPoint(ctx context.Context, p Point) (*sim.Result, error) {
 	out, err := e.Pool.Run(ctx, func(jctx context.Context) (any, error) {
+		cfg, err := Instantiate(p)
+		if err != nil {
+			return nil, err
+		}
 		return sim.RunContext(jctx, cfg)
 	}, e.Timeout)
 	if err != nil {

