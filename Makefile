@@ -14,7 +14,7 @@ RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
-BENCHES := BenchmarkAccessKernel|BenchmarkRunInsecure|BenchmarkRunSecure
+BENCHES := BenchmarkAccessKernel|BenchmarkRunInsecure|BenchmarkRunSecure|BenchmarkRunSecureParallel
 BENCH_PKG := ./internal/sim
 # Allowed fractional ns/op growth before benchcheck fails the build.
 BENCH_TOLERANCE ?= 0.10
@@ -44,6 +44,11 @@ vet:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	# Epoch-parallel twin tests under both extremes of scheduler
+	# pressure: one P serializes the shards (interleaving bugs hide
+	# here), eight Ps maximizes true parallelism on small runners.
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestEpoch|TestConcurrencyFromContext|TestEffectiveShards|TestShardsCanonicalErased' ./internal/sim
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestEpoch|TestConcurrencyFromContext|TestEffectiveShards|TestShardsCanonicalErased' ./internal/sim
 
 # Ten seconds of coverage-guided fuzzing per decoder that parses
 # untrusted bytes: the trace reader, and the store's envelope decoder

@@ -149,7 +149,9 @@ func writeBaseline(path string, got map[string]Entry) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// compare fails if any baseline benchmark is missing from got, got
+// compare fails if any baseline benchmark is missing from got, any
+// got benchmark is missing from the baseline (a new benchmark must be
+// recorded with `make bench` before the gate knows its floor), got
 // slower by more than the tolerance fraction, or allocates more than
 // the baseline (plus one alloc of slack for map-growth timing).
 func compare(path string, got map[string]Entry, tolerance float64) error {
@@ -178,6 +180,11 @@ func compare(path string, got map[string]Entry, tolerance float64) error {
 		if have.AllocsPerOp > want.AllocsPerOp+1 {
 			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f allocs/op",
 				name, have.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	for name := range got {
+		if _, ok := base.Current[name]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: not in baseline; run `make bench` to record it", name))
 		}
 	}
 	if len(bad) > 0 {

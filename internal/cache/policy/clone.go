@@ -1,0 +1,46 @@
+package policy
+
+import "github.com/maps-sim/mapsim/internal/cache"
+
+// ClonePolicy implements cache.PolicyCloner: the clone carries the
+// clock and per-frame stamps so it victimizes identically from the
+// snapshot point on.
+func (p *LRU) ClonePolicy() cache.Policy {
+	c := *p
+	c.last = append([]uint64(nil), p.last...)
+	return &c
+}
+
+// ClonePolicy implements cache.PolicyCloner.
+func (p *PLRU) ClonePolicy() cache.Policy {
+	c := *p
+	c.mru = append([]uint64(nil), p.mru...)
+	return &c
+}
+
+// ClonePolicy implements cache.PolicyCloner: the wrapper clones its
+// wrapped policy and re-wraps, so the clone stays on the fully
+// virtual path.
+func (g generic) ClonePolicy() cache.Policy {
+	pc, ok := g.Policy.(cache.PolicyCloner)
+	if !ok {
+		return nil
+	}
+	inner := pc.ClonePolicy()
+	if inner == nil {
+		return nil
+	}
+	return Generic(inner)
+}
+
+// ClonePolicy implements cache.PolicyCloner for observer-forwarding
+// wrappers (delegates to the embedded generic wrapper).
+func (g genericObserver) ClonePolicy() cache.Policy { return g.generic.ClonePolicy() }
+
+// Interface checks.
+var (
+	_ cache.PolicyCloner = (*LRU)(nil)
+	_ cache.PolicyCloner = (*PLRU)(nil)
+	_ cache.PolicyCloner = generic{}
+	_ cache.PolicyCloner = genericObserver{}
+)

@@ -1,0 +1,131 @@
+package cache
+
+import "sync/atomic"
+
+// PolicyCloner is implemented by replacement policies whose state can
+// be snapshotted: ClonePolicy returns an independent policy that will
+// make the same decisions as the original from this point on, or nil
+// when the policy cannot guarantee that. The epoch-parallel simulation
+// driver clones caches at epoch boundaries; a stateful policy without
+// PolicyCloner makes its cache non-cloneable and forces the sequential
+// path.
+type PolicyCloner interface {
+	// ClonePolicy returns an independent copy of the policy's state,
+	// or nil if the policy cannot be cloned.
+	ClonePolicy() Policy
+}
+
+// Clone returns an independent copy of the cache's behavioral state —
+// contents, recency, dirty bits — with statistics zeroed, so an epoch
+// simulation can run forward from a snapshot and report its own stat
+// deltas. The second return is false when the cache cannot be cloned
+// safely: a generic-path (non-devirtualized) policy, or a policy with
+// a per-access observer, must implement PolicyCloner, because its
+// state would otherwise be shared (and raced on) between the original
+// and the copy.
+func (c *Cache) Clone() (*Cache, bool) {
+	n := &Cache{
+		sets:     c.sets,
+		ways:     c.ways,
+		shift:    c.shift,
+		setMask:  c.setMask,
+		policy:   c.policy,
+		meta:     append([]uint64(nil), c.meta...),
+		valid:    append([]uint64(nil), c.valid...),
+		fullWays: c.fullWays,
+		inline:   c.inline,
+		lruClock: c.lruClock,
+	}
+	if c.plruMRU != nil {
+		n.plruMRU = append([]uint64(nil), c.plruMRU...)
+	}
+	if c.inline == InlineNone || c.observer != nil {
+		// The policy object holds live state (or is consulted per
+		// access); the clone needs its own copy.
+		pc, ok := c.policy.(PolicyCloner)
+		if !ok {
+			return nil, false
+		}
+		p := pc.ClonePolicy()
+		if p == nil {
+			return nil, false
+		}
+		n.policy = p
+		n.observer, _ = p.(AccessObserver)
+	}
+	if c.inline == InlineNone {
+		n.lines = append([]Line(nil), c.lines...)
+	}
+	return n, true
+}
+
+// fpNonce distinguishes fingerprints of states that must never compare
+// equal (see Fingerprint's generic-policy case).
+var fpNonce atomic.Uint64
+
+// Fingerprint returns a 64-bit digest of the cache's behavioral state:
+// two caches whose fingerprints match will (barring a ~2^-64 hash
+// collision) produce identical hit/miss/eviction streams for every
+// future access sequence. The epoch-parallel driver compares a
+// speculative epoch's fingerprint against an exact replay's at
+// checkpoints to decide where the two have converged.
+//
+// The digest is policy-aware:
+//
+//   - Inlined LRU hashes each set's resident (tag, flags) pairs with
+//     their recency *ranks*, combined commutatively within the set, so
+//     the digest is invariant under way permutation. LRU behavior is
+//     permutation-invariant — the victim is the unique minimum-stamp
+//     block regardless of which frame holds it — and a cold-started
+//     speculative epoch converges to the true state's *contents* long
+//     before (in fact, instead of) its exact frame placement.
+//   - Inlined PLRU hashes way placement exactly, MRU bits included:
+//     PLRU's victim choice is frame-indexed, so placement is
+//     behavioral state.
+//   - Generic (interface-path) policies have state the cache cannot
+//     inspect; their fingerprint is unique per call so it never
+//     matches and the driver falls back to a full exact replay, which
+//     is always correct.
+func (c *Cache) Fingerprint() uint64 {
+	if c.inline == InlineNone {
+		return fpMix(fpNonce.Add(1))
+	}
+	var h uint64
+	for set := 0; set < c.sets; set++ {
+		base := set * 3 * c.ways
+		var setH uint64
+		if c.inline == InlineLRU {
+			stamps := c.meta[base+c.ways : base+2*c.ways]
+			for w := 0; w < c.ways; w++ {
+				tag := c.meta[base+w]
+				if tag == 0 {
+					continue
+				}
+				// Recency rank among this set's valid frames; stamps
+				// are distinct clock values, so ranks are well defined.
+				rank := uint64(0)
+				for v := 0; v < c.ways; v++ {
+					if v != w && c.meta[base+v] != 0 && stamps[v] < stamps[w] {
+						rank++
+					}
+				}
+				setH += fpMix(tag ^ fpMix(c.meta[base+2*c.ways+w]^fpMix(rank)))
+			}
+		} else {
+			for w := 0; w < c.ways; w++ {
+				setH += fpMix(uint64(w) ^ fpMix(c.meta[base+w]^fpMix(c.meta[base+2*c.ways+w])))
+			}
+			setH += fpMix(c.plruMRU[set] ^ 0xA24BAED4963EE407)
+		}
+		h += fpMix(uint64(set) ^ fpMix(setH))
+	}
+	return fpMix(h)
+}
+
+// fpMix is the SplitMix64 output finalizer, used as a cheap 64-bit
+// mixing function for state fingerprints.
+func fpMix(z uint64) uint64 {
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}

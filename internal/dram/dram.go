@@ -51,10 +51,22 @@ type Stats struct {
 	Writes    uint64
 	RowHits   uint64
 	RowMisses uint64
-	// EnergyPJ is the total transfer + activation energy.
+	// EnergyPJ is the total transfer + activation energy. It is
+	// derived from the integer counters on read (see Config.EnergyOf)
+	// rather than accumulated per access: the hot path stays pure
+	// integer, and partial stats — per-epoch deltas in the parallel
+	// driver — merge by integer addition with the energy recomputed
+	// once from the totals, which is how the float stays bit-identical
+	// between the sequential and epoch-parallel paths.
 	EnergyPJ float64
 	// BusyCycles approximates total bank occupancy.
 	BusyCycles uint64
+}
+
+// EnergyOf computes the transfer + activation energy for the given
+// counters under this configuration's energy parameters.
+func (c Config) EnergyOf(s Stats) float64 {
+	return float64(s.RowMisses)*c.RowActivatePJ + float64(s.Reads+s.Writes)*(c.EnergyPJPerBit*64*8)
 }
 
 // Accesses returns reads + writes.
@@ -83,13 +95,12 @@ type Memory struct {
 
 	// Hot-path constants folded at New: bank count is a power of two,
 	// so bank/row selection is a mask and a shift (the generic modulo
-	// compiled to a hardware divide), and the fixed latency sums and
-	// per-block transfer energy don't change per access.
+	// compiled to a hardware divide), and the fixed latency sums don't
+	// change per access.
 	bankMask    uint64
 	bankShift   uint
 	serviceHit  uint64
 	serviceMiss uint64
-	blockPJ     float64
 }
 
 // New creates a memory. Banks must be a power of two and RowBytes a
@@ -109,7 +120,6 @@ func New(cfg Config) (*Memory, error) {
 		bankShift:   uint(bits.TrailingZeros64(uint64(cfg.Banks))),
 		serviceHit:  cfg.TCAS + cfg.TBurst,
 		serviceMiss: cfg.TRP + cfg.TRCD + cfg.TCAS + cfg.TBurst,
-		blockPJ:     cfg.EnergyPJPerBit * 64 * 8,
 	}
 	for i := range m.banks {
 		m.banks[i].openRow = -1
@@ -126,8 +136,13 @@ func MustNew(cfg Config) *Memory {
 	return m
 }
 
-// Stats returns a copy of the counters.
-func (m *Memory) Stats() Stats { return m.stats }
+// Stats returns a copy of the counters, with the derived energy
+// filled in.
+func (m *Memory) Stats() Stats {
+	s := m.stats
+	s.EnergyPJ = m.cfg.EnergyOf(s)
+	return s
+}
 
 // ResetStats zeroes the counters (bank state persists).
 func (m *Memory) ResetStats() { m.stats = Stats{} }
@@ -151,12 +166,10 @@ func (m *Memory) Access(now uint64, addr uint64, write bool) (latency uint64) {
 	} else {
 		m.stats.RowMisses++
 		service = m.serviceMiss
-		m.stats.EnergyPJ += m.cfg.RowActivatePJ
 		b.openRow = row
 	}
 	b.readyAt = start + service
 	m.stats.BusyCycles += service
-	m.stats.EnergyPJ += m.blockPJ
 
 	if write {
 		m.stats.Writes++

@@ -1,0 +1,55 @@
+package dram
+
+// CloneRebased returns an independent memory whose bank state is
+// carried over from the current one but re-expressed relative to CPU
+// cycle `now`: each bank keeps its open row, and its readyAt becomes
+// the remaining busy time (readyAt - now, clamped at zero). Statistics
+// start at zero.
+//
+// The timing model is translation-invariant — Access only ever
+// compares readyAt against the current cycle — so an epoch simulated
+// from a rebased clone at cycle 0 produces exactly the latencies (and
+// stats deltas) the original would from cycle `now`.
+func (m *Memory) CloneRebased(now uint64) *Memory {
+	n := &Memory{
+		cfg:         m.cfg,
+		rowShift:    m.rowShift,
+		banks:       make([]bank, len(m.banks)),
+		bankMask:    m.bankMask,
+		bankShift:   m.bankShift,
+		serviceHit:  m.serviceHit,
+		serviceMiss: m.serviceMiss,
+	}
+	for i, b := range m.banks {
+		n.banks[i].openRow = b.openRow
+		if b.readyAt > now {
+			n.banks[i].readyAt = b.readyAt - now
+		}
+	}
+	return n
+}
+
+// Fingerprint digests the bank state relative to CPU cycle `now`:
+// open rows plus each bank's remaining busy time. Two memories with
+// equal fingerprints at their respective current cycles behave
+// identically (same latencies, same row hits) for every future access
+// sequence, regardless of how their absolute cycle counts differ.
+func (m *Memory) Fingerprint(now uint64) uint64 {
+	var h uint64
+	for i, b := range m.banks {
+		rel := uint64(0)
+		if b.readyAt > now {
+			rel = b.readyAt - now
+		}
+		h += fpMix(uint64(i) ^ fpMix(uint64(b.openRow)^fpMix(rel)))
+	}
+	return fpMix(h)
+}
+
+// fpMix is the SplitMix64 output finalizer (same digest primitive the
+// cache fingerprints use).
+func fpMix(z uint64) uint64 {
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}

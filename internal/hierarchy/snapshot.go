@@ -1,0 +1,30 @@
+package hierarchy
+
+// Clone returns an independent hierarchy continuing from the current
+// contents with all statistics zeroed, or false when any level's
+// policy state cannot be snapshotted (see cache.Cache.Clone). The
+// epoch-parallel driver clones hierarchies at epoch boundaries.
+func (h *Hierarchy) Clone() (*Hierarchy, bool) {
+	l1, ok := h.l1.Clone()
+	if !ok {
+		return nil, false
+	}
+	l2, ok := h.l2.Clone()
+	if !ok {
+		return nil, false
+	}
+	l3, ok := h.l3.Clone()
+	if !ok {
+		return nil, false
+	}
+	return &Hierarchy{l1: l1, l2: l2, l3: l3}, true
+}
+
+// Fingerprint digests the behavioral state of all three levels (see
+// cache.Cache.Fingerprint for the convergence contract). Level
+// position is mixed in so an L2/L3 content swap cannot cancel out.
+func (h *Hierarchy) Fingerprint() uint64 {
+	return h.l1.Fingerprint() ^ rotl(h.l2.Fingerprint(), 21) ^ rotl(h.l3.Fingerprint(), 42)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -474,3 +474,20 @@ func TestRunCtxCancelWhileQueued(t *testing.T) {
 		t.Fatalf("Run = %v, want context.Canceled", err)
 	}
 }
+
+func TestWithContextWrap(t *testing.T) {
+	type wrapKey struct{}
+	p := New(1, 4, WithContextWrap(func(ctx context.Context) context.Context {
+		return context.WithValue(ctx, wrapKey{}, 42)
+	}))
+	defer p.Shutdown(context.Background())
+	out, err := p.Run(context.Background(), func(ctx context.Context) (any, error) {
+		return ctx.Value(wrapKey{}), nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Fatalf("job context value = %v, want 42 (wrap not applied)", out)
+	}
+}

@@ -1,0 +1,47 @@
+package metacache
+
+import "github.com/maps-sim/mapsim/internal/partition"
+
+// Cloneable reports whether the metadata cache can be snapshotted for
+// epoch-parallel simulation: it must have no way partitioning (schemes
+// carry per-set learning state with no clone contract) and its
+// replacement policy must be cloneable whenever the underlying cache
+// needs a private copy.
+func (m *MetaCache) Cloneable() bool {
+	_, ok := m.Clone()
+	return ok
+}
+
+// Clone returns an independent metadata cache continuing from the
+// current contents with all statistics zeroed, or false when the
+// configuration is not Cloneable.
+func (m *MetaCache) Clone() (*MetaCache, bool) {
+	if !m.noPartition {
+		return nil, false
+	}
+	cc, ok := m.c.Clone()
+	if !ok {
+		return nil, false
+	}
+	if m.observer != nil && cc.Policy() == m.cfg.Policy {
+		// The policy observes every access but the cache kept the
+		// shared instance (inline path): the copies would race on it.
+		return nil, false
+	}
+	n := &MetaCache{cfg: m.cfg, c: cc}
+	// The clone's config points at the cloned policy (and a fresh
+	// stateless partition) so nothing mutable is shared.
+	n.cfg.Policy = cc.Policy()
+	n.cfg.Partition = partition.NewNone()
+	n.cfg.Partition.Reset(cc.Sets(), m.cfg.Ways)
+	n.observer, _ = n.cfg.Policy.(classObserver)
+	n.noPartition = m.noPartition
+	n.fullMask = m.fullMask
+	n.allow = m.allow
+	n.partialOK = m.partialOK
+	return n, true
+}
+
+// Fingerprint digests the cache's behavioral state (see
+// cache.Cache.Fingerprint for the convergence contract).
+func (m *MetaCache) Fingerprint() uint64 { return m.c.Fingerprint() }

@@ -1,0 +1,32 @@
+package engine
+
+import "github.com/maps-sim/mapsim/internal/secmem/ctr"
+
+// CountersClone deep-copies the per-block logical counter map. The
+// epoch-parallel driver replays the exact writeback stream through a
+// standalone counter fold (see sim's epoch driver) and seeds each
+// epoch's engine with a snapshot, so split-counter overflows — page
+// re-encryptions — happen at exactly the writeback where the
+// sequential run would trigger them.
+func (e *Engine) CountersClone() map[uint64]*ctr.PIBlock {
+	return CloneCounters(e.counters)
+}
+
+// CloneCounters deep-copies a counter map (nil stays nil).
+func CloneCounters(m map[uint64]*ctr.PIBlock) map[uint64]*ctr.PIBlock {
+	if m == nil {
+		return nil
+	}
+	n := make(map[uint64]*ctr.PIBlock, len(m))
+	for k, v := range m {
+		blk := *v
+		n[k] = &blk
+	}
+	return n
+}
+
+// HashReadyAt exposes the HMAC engine's next-issue cycle, in the
+// engine's own cycle frame. Like DRAM bank readyAt it is translation-
+// invariant: the caller rebases it across epoch boundaries by
+// subtracting the boundary cycle (clamped at zero).
+func (e *Engine) HashReadyAt() uint64 { return e.hashReadyAt }

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/faults"
+	"github.com/maps-sim/mapsim/internal/memlayout"
+	"github.com/maps-sim/mapsim/internal/metacache"
+	"github.com/maps-sim/mapsim/internal/obs"
+	"github.com/maps-sim/mapsim/internal/trace"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// runTwin executes cfg sequentially and epoch-parallel and fails the
+// test unless the two Results are bit-identical. Timing and Sharding
+// describe how the run executed, not what it simulated, so they are
+// zeroed before comparison — everything else must match exactly.
+func runTwin(t *testing.T, cfg Config, shards int) *Result {
+	t.Helper()
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par := cfg
+	par.Shards = shards
+	if par.Meta != nil {
+		metaCopy := *par.Meta
+		par.Meta = &metaCopy
+	}
+	pres, err := Run(par)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if pres.Sharding == nil {
+		t.Fatalf("parallel run did not shard (Sharding == nil)")
+	}
+	sharding := *pres.Sharding
+	seq.Timing, pres.Timing = PhaseTiming{}, PhaseTiming{}
+	seq.Sharding, pres.Sharding = nil, nil
+	if !reflect.DeepEqual(seq, pres) {
+		t.Errorf("epoch-parallel result diverges from sequential (sharding %+v)\nseq: %+v\npar: %+v",
+			sharding, seq, pres)
+	}
+	pres.Sharding = &sharding
+	return pres
+}
+
+// TestEpochParallelBitIdenticalAllBenchmarks is the tentpole
+// contract: for every named benchmark, secure and insecure, the
+// epoch-parallel path must reproduce the sequential Result bit for
+// bit — splices and full replays included.
+func TestEpochParallelBitIdenticalAllBenchmarks(t *testing.T) {
+	for _, name := range workload.Names() {
+		cfgs := map[string]Config{
+			"insecure": {
+				Benchmark:    name,
+				Instructions: 50_000,
+			},
+			"secure": {
+				Benchmark:    name,
+				Instructions: 50_000,
+				Secure:       true,
+				Speculation:  true,
+				Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+			},
+		}
+		for variant, cfg := range cfgs {
+			cfg := cfg
+			t.Run(name+"/"+variant, func(t *testing.T) {
+				t.Parallel()
+				runTwin(t, cfg, 3)
+			})
+		}
+	}
+}
+
+// TestEpochParallelBitIdenticalVariants covers the dimensions the
+// all-benchmarks sweep holds fixed: both counter organizations, runs
+// without a metadata cache, the generic (DisableFastPath) policy
+// path — which can never converge a fingerprint and so exercises
+// full replays — a bounded speculation window, and a non-unit CPI.
+func TestEpochParallelBitIdenticalVariants(t *testing.T) {
+	meta := func() *metacache.Config { return &metacache.Config{Size: 32 << 10, Ways: 8} }
+	cfgs := map[string]Config{
+		"pi-meta": {
+			Benchmark: "canneal", Instructions: testInstr,
+			Secure: true, Speculation: true, Org: memlayout.PoisonIvy, Meta: meta(),
+		},
+		"sgx-meta": {
+			Benchmark: "streamcluster", Instructions: testInstr,
+			Secure: true, Speculation: true, Org: memlayout.SGX, Meta: meta(),
+		},
+		"pi-no-meta": {
+			Benchmark: "canneal", Instructions: testInstr / 4,
+			Secure: true, Org: memlayout.PoisonIvy,
+		},
+		"sgx-no-meta": {
+			Benchmark: "mcf", Instructions: testInstr / 4,
+			Secure: true, Org: memlayout.SGX,
+		},
+		"generic-policies": {
+			Benchmark: "canneal", Instructions: testInstr / 4,
+			Secure: true, Meta: meta(), DisableFastPath: true,
+		},
+		"spec-window": {
+			Benchmark: "lbm", Instructions: testInstr / 2,
+			Secure: true, Speculation: true, SpeculationWindow: 100, Meta: meta(),
+		},
+		"base-cpi": {
+			Benchmark: "milc", Instructions: testInstr / 2,
+			BaseCPI: 1.5,
+		},
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runTwin(t, cfg, 4)
+		})
+	}
+}
+
+// TestEpochParallelDeterministic pins that the parallel path is
+// deterministic against itself, diagnostics included: same config,
+// same shard count, same splice/replay trajectory.
+func TestEpochParallelDeterministic(t *testing.T) {
+	cfg := Config{
+		Benchmark: "canneal", Instructions: testInstr,
+		Secure: true, Speculation: true,
+		Meta:   &metacache.Config{Size: 64 << 10, Ways: 8},
+		Shards: 4,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Timing, b.Timing = PhaseTiming{}, PhaseTiming{}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("parallel path is not deterministic\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestEpochParallelProgress verifies the coarser per-epoch progress
+// ticks still land on exactly the retired-instruction total the
+// sequential path reports.
+func TestEpochParallelProgress(t *testing.T) {
+	base := Config{Benchmark: "canneal", Instructions: testInstr}
+
+	seq := base
+	seq.Progress = &obs.Progress{}
+	if _, err := Run(seq); err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Shards = 3
+	par.Progress = &obs.Progress{}
+	if _, err := Run(par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Progress.Done() != par.Progress.Done() {
+		t.Errorf("progress totals differ: sequential %d, parallel %d",
+			seq.Progress.Done(), par.Progress.Done())
+	}
+}
+
+// TestEpochParallelCancellation cancels a sharded run mid-flight and
+// verifies both that the error surfaces promptly and that the
+// partial-epoch teardown leaks no goroutines.
+func TestEpochParallelCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, Config{
+			Benchmark:    "canneal",
+			Instructions: 500_000_000, // far longer than the test will allow
+			Secure:       true,
+			Meta:         &metacache.Config{Size: 64 << 10, Ways: 8},
+			Shards:       4,
+		})
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let epochs spin up
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+
+	// Every epoch worker must have unwound; poll briefly since exits
+	// are asynchronous with the driver's return.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEpochFault proves a fault injected inside a speculative epoch
+// (the "sim.epoch" point) surfaces as the run's error, tears down
+// cleanly, and leaves the process healthy for the next run.
+func TestEpochFault(t *testing.T) {
+	defer faults.Reset()
+	before := runtime.NumGoroutine()
+	if err := faults.P("sim.epoch").Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Benchmark: "canneal", Instructions: testInstr,
+		Secure: true, Meta: &metacache.Config{Size: 64 << 10, Ways: 8},
+		Shards: 3,
+	}
+	_, err := Run(cfg)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	if fired := faults.P("sim.epoch").Fired(); fired == 0 {
+		t.Fatal("sim.epoch never fired")
+	}
+	faults.Reset()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked after injected fault: %d before, %d after", before, n)
+	}
+
+	// The same config must run clean once disarmed.
+	runTwin(t, Config{
+		Benchmark: "canneal", Instructions: testInstr,
+		Secure: true, Meta: &metacache.Config{Size: 64 << 10, Ways: 8},
+	}, 3)
+}
+
+// TestEffectiveShards pins the oversubscription guard: AutoShards
+// divides the machine's CPUs by the inter-run parallelism already
+// recorded on the context, nested parallelism composes
+// multiplicatively, and explicit counts pass through untouched.
+func TestEffectiveShards(t *testing.T) {
+	restore := cpuCount
+	defer func() { cpuCount = restore }()
+	cpuCount = func() int { return 16 }
+
+	bg := context.Background()
+	cases := []struct {
+		name   string
+		ctx    context.Context
+		shards int
+		want   int
+	}{
+		{"sequential-default", bg, 0, 1},
+		{"sequential-explicit", bg, 1, 1},
+		{"forced", bg, 6, 6},
+		{"forced-ignores-budget", WithConcurrency(bg, 8), 6, 6},
+		{"auto-idle-machine", bg, AutoShards, 16},
+		{"auto-under-pool", WithConcurrency(bg, 4), AutoShards, 4},
+		{"auto-nested-pools", WithConcurrency(WithConcurrency(bg, 4), 2), AutoShards, 2},
+		{"auto-saturated", WithConcurrency(bg, 16), AutoShards, 1},
+		{"auto-oversubscribed", WithConcurrency(bg, 64), AutoShards, 1},
+	}
+	for _, tc := range cases {
+		if got := effectiveShards(tc.ctx, tc.shards); got != tc.want {
+			t.Errorf("%s: effectiveShards = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// A huge machine is still clamped: past maxAutoShards the
+	// reconciliation chain dominates and more shards only burn memory.
+	cpuCount = func() int { return 256 }
+	if got := effectiveShards(bg, AutoShards); got != maxAutoShards {
+		t.Errorf("unclamped auto shards: got %d, want %d", got, maxAutoShards)
+	}
+}
+
+// TestConcurrencyFromContext covers the accessor's defaults and
+// floor.
+func TestConcurrencyFromContext(t *testing.T) {
+	bg := context.Background()
+	if got := ConcurrencyFromContext(bg); got != 1 {
+		t.Errorf("unset concurrency = %d, want 1", got)
+	}
+	if got := ConcurrencyFromContext(WithConcurrency(bg, 0)); got != 1 {
+		t.Errorf("zero-clamped concurrency = %d, want 1", got)
+	}
+	if got := ConcurrencyFromContext(WithConcurrency(bg, 5)); got != 5 {
+		t.Errorf("concurrency = %d, want 5", got)
+	}
+}
+
+// TestShardsCanonicalErased mirrors the DisableFastPath test: the
+// shard count changes how a run executes, never what it computes, so
+// it must not reach result-cache keys.
+func TestShardsCanonicalErased(t *testing.T) {
+	base := Config{Benchmark: "canneal", Secure: true, Meta: &metacache.Config{Size: 32 << 10, Ways: 8}}
+	on := base
+	on.Shards = 8
+	metaCopy := *base.Meta
+	on.Meta = &metaCopy
+
+	cOff, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOn, err := on.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cOff, cOn) {
+		t.Errorf("canonical forms differ:\noff: %+v\non:  %+v", cOff, cOn)
+	}
+	if cOn.Shards != 0 {
+		t.Errorf("canonical form retains Shards: %+v", cOn)
+	}
+}
+
+// TestEpochParallelFallbacks verifies configurations the driver
+// cannot shard safely silently run sequentially and still succeed.
+func TestEpochParallelFallbacks(t *testing.T) {
+	t.Run("tap", func(t *testing.T) {
+		res, err := Run(Config{
+			Benchmark: "canneal", Instructions: testInstr / 4,
+			Secure: true, Meta: &metacache.Config{Size: 32 << 10, Ways: 8},
+			Shards: 4,
+			Tap:    func(trace.Access) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sharding != nil {
+			t.Error("a tapped run must not shard")
+		}
+	})
+	t.Run("tiny-run", func(t *testing.T) {
+		// A single access (warmup defaults to Instructions/10 == 0)
+		// cannot split into two epochs.
+		res, err := Run(Config{Benchmark: "canneal", Instructions: 1, Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sharding != nil {
+			t.Error("a single-epoch run must not shard")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package workload
+
+// Cloner is implemented by generators whose position can be captured
+// mid-stream: Clone returns an independent generator that continues
+// from exactly the current state, emitting the same future accesses as
+// the original. The epoch-parallel simulation driver snapshots a
+// generator at epoch boundaries so each epoch can regenerate its slice
+// of the stream deterministically; a caller-supplied Generator that
+// does not implement Cloner forces the driver back to the sequential
+// path.
+type Cloner interface {
+	// Clone returns an independent copy continuing from the current
+	// stream position.
+	Clone() Generator
+}
+
+// All built-in generators are plain value structs (the SplitMix64
+// state, the magic-modulo tables, and the walk positions are all
+// scalars or arrays by value), so a shallow copy is a complete state
+// snapshot.
+
+// Clone implements Cloner.
+func (g *stream) Clone() Generator { c := *g; return &c }
+
+// Clone implements Cloner.
+func (g *chase) Clone() Generator { c := *g; return &c }
+
+// Clone implements Cloner.
+func (g *strided) Clone() Generator { c := *g; return &c }
+
+// Clone implements Cloner.
+func (g *stencil) Clone() Generator { c := *g; return &c }
+
+// Clone implements Cloner.
+func (g *treewalk) Clone() Generator { c := *g; return &c }
+
+// Clone implements Cloner.
+func (g *mixed) Clone() Generator { c := *g; return &c }
+
+// Interface checks: every registered benchmark generator supports
+// epoch-boundary snapshotting.
+var (
+	_ Cloner = (*stream)(nil)
+	_ Cloner = (*chase)(nil)
+	_ Cloner = (*strided)(nil)
+	_ Cloner = (*stencil)(nil)
+	_ Cloner = (*treewalk)(nil)
+	_ Cloner = (*mixed)(nil)
+)
