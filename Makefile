@@ -7,10 +7,10 @@ GO ?= go
 
 # Packages with real concurrency (worker pool, server, suite fan-out,
 # result cache, fault injection, sweep engine, tiered result store,
-# fleet coordinator, and the root package's fleet e2e tests) — the
-# ones -race can actually catch regressions in. The server list
-# includes the chaos tests.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store ./internal/fleet .
+# fleet coordinator, sweep journal, and the root package's fleet and
+# crash e2e tests) — the ones -race can actually catch regressions in.
+# The server and journal lists include the chaos tests.
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store ./internal/fleet ./internal/journal .
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
@@ -19,7 +19,7 @@ BENCH_PKG := ./internal/sim
 # Allowed fractional ns/op growth before benchcheck fails the build.
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: check build fmt lint test vet race bench benchcheck fuzzsmoke run-mapsd fleet-demo
+.PHONY: check build fmt lint test vet race bench benchcheck fuzzsmoke run-mapsd fleet-demo crash-drill
 
 check: build fmt vet lint test race fuzzsmoke benchcheck
 
@@ -51,13 +51,15 @@ race:
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestEpoch|TestConcurrencyFromContext|TestEffectiveShards|TestShardsCanonicalErased' ./internal/sim
 
 # Ten seconds of coverage-guided fuzzing per decoder that parses
-# untrusted bytes: the trace reader, and the store's envelope decoder
-# (fed by disk files and peer responses) — enough to catch parser
+# untrusted bytes: the trace reader, the store's envelope decoder (fed
+# by disk files and peer responses), and the sweep journal's record
+# decoder (fed by crash-scrambled WAL files) — enough to catch parser
 # regressions on malformed input without slowing the gate
 # meaningfully. Fuzz corpus findings land in each package's testdata.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/store
+	$(GO) test -run '^$$' -fuzz=FuzzDecodeJournalRecord -fuzztime=10s ./internal/journal
 
 # Full benchmark pass: measure the access kernel and end-to-end runs,
 # then record the numbers into BENCH_kernel.json's current section.
@@ -79,3 +81,10 @@ run-mapsd:
 # per-worker attribution printed at the end. See docs/FLEET.md.
 fleet-demo:
 	./scripts/fleet_demo.sh
+
+# Kill-and-recover drill: SIGKILL a journaled daemon mid-sweep,
+# restart it on the same directories, and verify the sweep resumes
+# under its original ID with zero re-simulated points. The narrated
+# version lives in docs/ROBUSTNESS.md.
+crash-drill:
+	./scripts/crash_drill.sh

@@ -384,19 +384,95 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepStatus, erro
 // daemon pushes one status line per completed point (NDJSON over
 // ?watch=1), onUpdate observes each, and the terminal status is
 // returned. A nil onUpdate just waits for the terminal status.
+//
+// The watch stream survives transient disconnects — a dropped
+// connection, a daemon restart, a shedding 429/503 — by reconnecting
+// with the client's usual full-jitter backoff (honoring Retry-After)
+// and resuming from the last-seen done-count, so onUpdate never
+// observes progress running backwards across a reconnect. Only a
+// non-retryable API error (e.g. 404 after the sweep was evicted), a
+// canceled context, or MaxRetries consecutive dead connections with
+// no progress between them ends the watch early; the last of those
+// falls back to plain status polling.
 func (c *Client) SweepProgress(ctx context.Context, id string, onUpdate func(SweepStatus)) (SweepStatus, error) {
 	var last SweepStatus
-	if err := ctx.Err(); err != nil {
-		return last, err
+	seen := false
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	} else if maxRetries < 0 {
+		maxRetries = 0
 	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait := c.RetryMax
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
+		st, progressed, err := c.watchSweep(ctx, id, &last, &seen, onUpdate)
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return last, ctx.Err()
+		}
+		wait := time.Duration(0)
+		if apiErr, ok := err.(*APIError); ok {
+			if !retryableStatus(apiErr.StatusCode) {
+				return last, apiErr
+			}
+			wait = apiErr.RetryAfter
+		}
+		// A connection that delivered lines before dying is a live
+		// stream hiccup, not a failing endpoint: reset the budget.
+		if progressed {
+			failures = 0
+		}
+		if failures >= maxRetries {
+			// Out of reconnect budget; hand off to plain polling so a
+			// watch over a flaky path still resolves the sweep.
+			return c.SweepWait(ctx, id)
+		}
+		if wait == 0 {
+			wait = time.Duration(rand.Int64N(int64(base<<failures) + 1))
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		failures++
+		c.retries.Add(1)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return last, ctx.Err()
+		}
+	}
+}
+
+// watchSweep runs one ?watch=1 connection. It feeds onUpdate only
+// statuses that advance the last-seen done-count (or are terminal, or
+// are the first ever seen), updating *last as it goes, and returns
+// the terminal status with a nil error when the sweep finishes. Any
+// other outcome — transport error, bad status, stream ended without a
+// terminal line — returns an error plus whether this connection made
+// observable progress.
+func (c *Client) watchSweep(ctx context.Context, id string, last *SweepStatus, seen *bool, onUpdate func(SweepStatus)) (SweepStatus, bool, error) {
+	progressed := false
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.BaseURL+"/v1/sweeps/"+id+"?watch=1", nil)
 	if err != nil {
-		return last, err
+		return *last, false, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return last, err
+		return *last, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -408,28 +484,42 @@ func (c *Client) SweepProgress(ctx context.Context, id string, onUpdate func(Swe
 		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
 			ae.Message = apiErr.Error
 		}
-		return last, ae
+		return *last, false, ae
 	}
 	dec := json.NewDecoder(resp.Body)
 	for {
 		var st SweepStatus
 		if err := dec.Decode(&st); err != nil {
 			if err == io.EOF {
-				break
+				// Clean EOF without a terminal line: daemon restart or
+				// proxy timeout — reconnect.
+				err = io.ErrUnexpectedEOF
 			}
-			return last, err
+			return *last, progressed, err
 		}
-		last = st
+		progressed = true
+		// A fresh connection replays the current status; suppress
+		// updates that don't advance past what an earlier connection
+		// already delivered.
+		if *seen && st.Done <= last.Done && !st.State.Terminal() {
+			continue
+		}
+		*seen = true
+		*last = st
 		if onUpdate != nil {
 			onUpdate(st)
 		}
 		if st.State.Terminal() {
-			return st, nil
+			return st, progressed, nil
 		}
 	}
-	// The stream ended without a terminal line (daemon restart or
-	// proxy timeout); fall back to one plain status poll.
-	return c.SweepWait(ctx, id)
+}
+
+// SweepStatus fetches a sweep's current status by ID.
+func (c *Client) SweepStatus(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
 }
 
 // SweepWait polls until the sweep reaches a terminal state.
@@ -475,6 +565,23 @@ func (c *Client) RunSweepRemote(ctx context.Context, req SweepRequest, onUpdate 
 		if st, err = c.SweepProgress(ctx, st.ID, onUpdate); err != nil {
 			return nil, err
 		}
+	}
+	if st.State != JobDone {
+		return nil, fmt.Errorf("mapsim: sweep %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return c.SweepResultRemote(ctx, st.ID)
+}
+
+// ResumeSweep reattaches to a sweep by ID — typically one submitted
+// before a daemon restart and recovered from its journal — streams
+// progress through onUpdate (which may be nil), and returns the
+// completed result. Sweep IDs are stable across restarts when the
+// daemon runs with -journal-dir, so the ID from the original
+// submission keeps working after a crash.
+func (c *Client) ResumeSweep(ctx context.Context, id string, onUpdate func(SweepStatus)) (*SweepResult, error) {
+	st, err := c.SweepProgress(ctx, id, onUpdate)
+	if err != nil {
+		return nil, err
 	}
 	if st.State != JobDone {
 		return nil, fmt.Errorf("mapsim: sweep %s %s: %s", st.ID, st.State, st.Error)

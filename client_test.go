@@ -396,3 +396,82 @@ func TestClientStoreFetch(t *testing.T) {
 		t.Fatalf("bad key: %v, want 400 APIError", err)
 	}
 }
+
+// TestSweepProgressReconnects drops the NDJSON watch connection hard
+// after its first status line; the client must reconnect on its own,
+// keep the observed done-counts monotonic across the break, and still
+// deliver the terminal status — the crash-safe watch contract.
+func TestSweepProgressReconnects(t *testing.T) {
+	c, _ := startDaemon(t)
+	daemonURL, err := url.Parse(c.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passthrough := httputil.NewSingleHostReverseProxy(daemonURL)
+
+	var dropped atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("watch") == "1" && !dropped.Swap(true) {
+			// Relay exactly one stream line, then kill the connection
+			// mid-stream — the shape of a daemon restart.
+			resp, err := http.Get(c.BaseURL + r.URL.Path + "?watch=1")
+			if err != nil {
+				t.Errorf("proxy watch: %v", err)
+				panic(http.ErrAbortHandler)
+			}
+			defer resp.Body.Close()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			line := make([]byte, 1)
+			for {
+				if _, err := resp.Body.Read(line); err != nil {
+					break
+				}
+				w.Write(line)
+				if line[0] == '\n' {
+					break
+				}
+			}
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		passthrough.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	flaky := mapsim.NewClient(proxy.URL)
+	flaky.RetryBase = time.Millisecond
+	flaky.MaxRetries = 10
+	flaky.PollInterval = 5 * time.Millisecond
+
+	ctx := context.Background()
+	st, err := flaky.Sweep(ctx, mapsim.SweepRequest{
+		Base: mapsim.ConfigSpec{Instructions: 5_000_000, Speculation: true},
+		Axes: mapsim.SweepAxes{
+			Benchmarks: []string{"fft"},
+			Meta:       mapsim.SweepIntAxis{Points: []mapsim.ByteSize{16 << 10, 32 << 10, 64 << 10, 128 << 10}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+
+	lastDone := -1
+	res, err := flaky.ResumeSweep(ctx, st.ID, func(cur mapsim.SweepStatus) {
+		if cur.Done < lastDone {
+			t.Errorf("Done went backwards across reconnect: %d then %d", lastDone, cur.Done)
+		}
+		lastDone = cur.Done
+	})
+	if err != nil {
+		t.Fatalf("ResumeSweep through dropping proxy: %v", err)
+	}
+	if len(res.Points) != st.Total || lastDone != st.Total {
+		t.Fatalf("result %d points, last Done %d, want %d", len(res.Points), lastDone, st.Total)
+	}
+	if !dropped.Load() {
+		t.Fatal("proxy never dropped the watch stream")
+	}
+	if flaky.Retries() == 0 {
+		t.Error("client reports zero retries after a dropped watch stream")
+	}
+}

@@ -10,6 +10,8 @@
 //	mapsd [-addr :8750] [-workers N] [-queue N] [-cache-entries N]
 //	      [-store-dir DIR] [-store-max-bytes SIZE] [-peers URL,...]
 //	      [-fleet URL,...] [-fleet-inflight N] [-straggler-after DUR]
+//	      [-journal-dir DIR] [-journal-fsync always|interval|never]
+//	      [-sweep-ttl DUR] [-max-sweeps N]
 //	      [-log-format text|json] [-v] [-pprof] [-faults SPEC]
 //
 // Endpoints (see internal/server and docs/OBSERVABILITY.md):
@@ -50,6 +52,20 @@
 // same daemons lets the fleet share results instead of recomputing
 // them. See docs/FLEET.md for the operator guide.
 //
+// -journal-dir enables the per-sweep write-ahead journal
+// (internal/journal): every sweep admission, point completion, and
+// terminal status is logged durably, so a daemon killed mid-sweep
+// replays intact journals on the next start, pre-marks the completed
+// points (the result store answers them without re-simulation), and
+// resumes dispatch under the same sweep ID — watching clients
+// reattach to GET /v1/sweeps/{id}. Torn journal tails are truncated;
+// corrupt journals are quarantined under <dir>/quarantine.
+// -journal-fsync trades durability for append latency: "always"
+// (default) fsyncs every record, "interval" batches syncs (~100ms
+// windows), "never" leaves flushing to the OS. Finished sweeps are
+// evicted from the registry (journal file included) after -sweep-ttl,
+// or earliest-first beyond -max-sweeps; results stay in the store.
+//
 // -faults (default: the MAPSD_FAULTS environment variable) arms
 // deterministic fault injection for chaos drills, e.g.
 // "jobs.run:err:0.01,results.put:err:0.05" — see docs/ROBUSTNESS.md.
@@ -72,6 +88,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/cliutil"
 	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/fleet"
+	"github.com/maps-sim/mapsim/internal/journal"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/server"
@@ -130,6 +147,10 @@ func main() {
 	fleetSpec := flag.String("fleet", "", "comma-separated worker mapsd base URLs sweeps fan out to (this daemon's pool is always the first worker)")
 	fleetInflight := flag.Int("fleet-inflight", 2, "max in-flight sweep points per fleet worker")
 	stragglerAfter := flag.Duration("straggler-after", 30*time.Second, "re-issue a sweep point still in flight on one worker after this long (negative disables)")
+	journalDir := flag.String("journal-dir", "", "sweep write-ahead journal directory; unfinished sweeps resume on restart (empty = no journal)")
+	journalFsync := flag.String("journal-fsync", "always", "journal fsync policy: always, interval, or never")
+	sweepTTL := flag.Duration("sweep-ttl", time.Hour, "evict finished sweeps (and their journals) from the registry after this long (negative disables)")
+	maxSweeps := flag.Int("max-sweeps", 512, "max sweeps kept in the registry; oldest finished are evicted first (negative = uncapped)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 	logFormat := flag.String("log-format", obs.FormatText, "log output format: text or json")
 	verbose := flag.Bool("v", false, "verbose logging (Debug level: spans, scrapes)")
@@ -176,6 +197,21 @@ func main() {
 	logger.Info("result store open",
 		"dir", storeDirLabel, "entries", ss.DiskEntries, "bytes", ss.DiskBytes, "peers", ss.Peers)
 
+	var jdir *journal.Dir
+	if *journalDir != "" {
+		sync, err := journal.ParseSync(*journalFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapsd: -journal-fsync: %v\n", err)
+			os.Exit(2)
+		}
+		jdir, err = journal.Open(journal.Options{Dir: *journalDir, Sync: sync, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapsd: -journal-dir: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Info("sweep journal open", "dir", jdir.Path(), "fsync", sync.String())
+	}
+
 	fleetWorkers := buildFleet(*fleetSpec, *fleetInflight)
 	if len(fleetWorkers) > 0 {
 		names := make([]string, len(fleetWorkers))
@@ -195,6 +231,9 @@ func main() {
 		EnablePprof:         *withPprof,
 		Fleet:               fleetWorkers,
 		FleetStragglerAfter: *stragglerAfter,
+		Journal:             jdir,
+		SweepTTL:            *sweepTTL,
+		MaxSweeps:           *maxSweeps,
 	})
 	// Timeouts bound every connection phase so one stalled client
 	// cannot pin a goroutine: headers in 10s, the whole request in

@@ -1,0 +1,257 @@
+package mapsim_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim"
+)
+
+// buildMapsd compiles the real daemon binary once per test run — the
+// crash drill needs a process it can SIGKILL, not an in-process server.
+func buildMapsd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mapsd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mapsd")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/mapsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startMapsd launches the daemon and waits for /healthz.
+func startMapsd(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func waitHealthy(t *testing.T, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", baseURL)
+}
+
+// scrapeMetric reads one integer-valued metric from /metrics.
+func scrapeMetric(t *testing.T, baseURL, name string) (int, bool) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false
+	}
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindSubmatch(body)
+	if m == nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// TestCrashRecoverySIGKILL is the issue's acceptance drill: a daemon
+// SIGKILLed mid-sweep and restarted on the same -journal-dir and
+// -store-dir recovers the sweep from its journal, finishes it without
+// re-simulating any journaled-and-stored point, keeps the sweep ID
+// stable so a live watch client reattaches across the restart, and
+// produces a result byte-identical to an uninterrupted run.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash drill skipped in -short mode")
+	}
+	bin := buildMapsd(t)
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	sdir := filepath.Join(dir, "store")
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	daemonArgs := []string{
+		"-addr", addr, "-workers", "1",
+		"-journal-dir", jdir, "-store-dir", sdir,
+	}
+	d1 := startMapsd(t, bin, daemonArgs...)
+	waitHealthy(t, base)
+
+	c := mapsim.NewClient(base)
+	c.PollInterval = 10 * time.Millisecond
+	ctx := context.Background()
+
+	// One worker and eight multi-million-instruction points: slow
+	// enough that the kill lands mid-sweep with completed points on
+	// both sides of it.
+	req := mapsim.SweepRequest{
+		Base: mapsim.ConfigSpec{Instructions: 5_000_000, Speculation: true},
+		Axes: mapsim.SweepAxes{
+			Benchmarks: []string{"fft", "canneal"},
+			Meta:       mapsim.SweepIntAxis{Points: []mapsim.ByteSize{16 << 10, 32 << 10, 64 << 10, 128 << 10}},
+		},
+	}
+	st, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	id, total := st.ID, st.Total
+
+	// A live watcher with a generous reconnect budget: it must ride
+	// out the kill-and-restart window and still see the terminal line.
+	watcher := mapsim.NewClient(base)
+	watcher.MaxRetries = 40
+	watcher.RetryBase = 50 * time.Millisecond
+	watcher.PollInterval = 20 * time.Millisecond
+	watchDone := make(chan mapsim.SweepStatus, 1)
+	watchErr := make(chan error, 1)
+	go func() {
+		fin, err := watcher.SweepProgress(ctx, id, nil)
+		if err != nil {
+			watchErr <- err
+			return
+		}
+		watchDone <- fin
+	}()
+
+	// Wait for ≥2 completed points, then for the store to flush them,
+	// so the journal and disk tier agree on what the kill preserves.
+	var progressed int
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		cur, err := c.SweepStatus(ctx, id)
+		if err == nil && cur.Done >= 2 {
+			progressed = cur.Done
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if progressed < 2 {
+		t.Fatal("sweep made no progress before the kill")
+	}
+	for time.Now().Before(deadline) {
+		if n, ok := scrapeMetric(t, base, "mapsd_store_pending_writes"); ok && n == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d1.Wait()
+
+	startMapsd(t, bin, daemonArgs...)
+	waitHealthy(t, base)
+	if n, ok := scrapeMetric(t, base, "mapsd_sweeps_recovered_total"); !ok || n != 1 {
+		t.Fatalf("mapsd_sweeps_recovered_total = %d (found %v), want 1", n, ok)
+	}
+
+	// Reattach by the original ID and run the sweep to completion.
+	res, err := c.ResumeSweep(ctx, id, nil)
+	if err != nil {
+		t.Fatalf("ResumeSweep after SIGKILL: %v", err)
+	}
+	if len(res.Points) != total {
+		t.Fatalf("recovered result has %d points, want %d", len(res.Points), total)
+	}
+	final, err := c.SweepStatus(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != total {
+		t.Fatalf("recovered sweep finished %d/%d", final.Done, total)
+	}
+	// Zero duplicate simulations: every point the restarted daemon's
+	// pool ran is one the journal did not already account for.
+	if final.Deduped < progressed {
+		t.Fatalf("Deduped = %d, want >= %d journaled points", final.Deduped, progressed)
+	}
+	if n, ok := scrapeMetric(t, base, "mapsd_jobs_submitted_total"); !ok || n != total-final.Deduped {
+		t.Fatalf("restart daemon simulated %d points, want %d", n, total-final.Deduped)
+	}
+
+	// The pre-kill watcher reattached on its own and saw the end.
+	select {
+	case fin := <-watchDone:
+		if fin.State != mapsim.JobDone || fin.Done != total {
+			t.Fatalf("watcher terminal status: %+v", fin)
+		}
+	case err := <-watchErr:
+		t.Fatalf("watch stream did not survive the restart: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("watcher never saw the terminal status")
+	}
+
+	// Byte-identity against an uninterrupted run on a fresh daemon.
+	dir2 := t.TempDir()
+	port2 := freePort(t)
+	base2 := fmt.Sprintf("http://127.0.0.1:%d", port2)
+	startMapsd(t, bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port2), "-workers", "2",
+		"-journal-dir", filepath.Join(dir2, "journal"),
+		"-store-dir", filepath.Join(dir2, "store"))
+	waitHealthy(t, base2)
+	ref := mapsim.NewClient(base2)
+	ref.PollInterval = 10 * time.Millisecond
+	refRes, err := ref.RunSweepRemote(ctx, req, nil)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+	if got, want := sanitizeSweep(t, res), sanitizeSweep(t, refRes); string(got) != string(want) {
+		t.Fatalf("recovered result differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// The finished journal is cleaned up on the next startup pass, and
+	// nothing was quarantined along the way.
+	if ents, err := os.ReadDir(filepath.Join(jdir, "quarantine")); err == nil && len(ents) > 0 {
+		t.Fatalf("%d journals quarantined during a clean recovery", len(ents))
+	}
+}

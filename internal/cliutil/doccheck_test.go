@@ -80,6 +80,7 @@ func TestRepoPackagesFullyDocumented(t *testing.T) {
 		"../sweep",
 		"../store",
 		"../fleet",
+		"../journal",
 		"../..", // root package: client.go, mapsim.go, worker.go
 	} {
 		missing, err := MissingDocs(dir)

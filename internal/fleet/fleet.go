@@ -100,6 +100,14 @@ type Coordinator struct {
 	// results (by results.PointKeyFor) and stores fresh ones —
 	// the fleet's exactly-once layer.
 	Cache sweep.Cache
+	// Completed pre-marks grid indices already finished by an earlier
+	// run of the same sweep (journal recovery): the pre-pass consults
+	// Cache for them even when the spec sets NoCache, so a resumed
+	// sweep re-serves them from the store instead of re-simulating. A
+	// pre-marked point the store no longer holds falls back to a
+	// normal dispatch. Set this only on a Coordinator built for one
+	// recovered sweep.
+	Completed map[int]bool
 	// OnPoint, when set, observes every completed point in completion
 	// order; calls are serialized.
 	OnPoint func(sweep.PointResult)
@@ -221,7 +229,7 @@ func (c *Coordinator) Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, 
 	// any work, exactly as the single-node engine does.
 	var tasks []*task
 	for _, p := range points {
-		key, hit := c.lookup(rctx, spec, p)
+		key, hit := c.lookup(rctx, spec, p, c.Completed[p.Index])
 		if hit != nil {
 			r.mu.Lock()
 			r.deliver(sweep.PointResult{Point: p, Result: hit, Cached: true})
@@ -288,8 +296,10 @@ func (c *Coordinator) Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, 
 
 // lookup computes the point's content address and consults the cache,
 // mirroring the single-node engine: same key mapping, so fleet and
-// local sweeps dedupe against each other.
-func (c *Coordinator) lookup(ctx context.Context, spec sweep.Spec, p sweep.Point) (results.Key, *sim.Result) {
+// local sweeps dedupe against each other. force consults the cache
+// even under NoCache — the recovered-point path, where the store is
+// the completed point's only surviving copy.
+func (c *Coordinator) lookup(ctx context.Context, spec sweep.Spec, p sweep.Point, force bool) (results.Key, *sim.Result) {
 	if c.Cache == nil {
 		return "", nil
 	}
@@ -298,7 +308,7 @@ func (c *Coordinator) lookup(ctx context.Context, spec sweep.Spec, p sweep.Point
 	if err != nil {
 		return "", nil
 	}
-	if spec.NoCache {
+	if spec.NoCache && !force {
 		return key, nil
 	}
 	if v, ok := c.Cache.Get(ctx, key); ok {

@@ -1,0 +1,404 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/maps-sim/mapsim/internal/faults"
+)
+
+func testAdmit(id string, total int) Admit {
+	return Admit{
+		ID:       id,
+		Created:  time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Total:    total,
+		GridHash: "deadbeef",
+		Spec:     json.RawMessage(`{"base":{}}`),
+	}
+}
+
+func openDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := openDir(t)
+	w, err := d.Create(testAdmit("s-00000001", 3))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	pts := []Point{
+		{Index: 2, Key: "k2", Worker: "pool"},
+		{Index: 0, Key: "k0", Cached: true},
+		{Index: 1, Key: "k1", Worker: "remote"},
+	}
+	for _, p := range pts {
+		if err := w.Point(p); err != nil {
+			t.Fatalf("Point(%d): %v", p.Index, err)
+		}
+	}
+	// Re-delivery of an already-journaled index is an idempotent no-op.
+	if err := w.Point(Point{Index: 1, Key: "other"}); err != nil {
+		t.Fatalf("duplicate Point: %v", err)
+	}
+	if err := w.Finish(Status{State: "done"}); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := w.Point(Point{Index: 9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Point after Finish = %v, want ErrClosed", err)
+	}
+
+	sweeps, err := d.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(sweeps) != 1 {
+		t.Fatalf("Replay returned %d sweeps, want 1", len(sweeps))
+	}
+	sw := sweeps[0]
+	if sw.Admit.ID != "s-00000001" || sw.Admit.Total != 3 || sw.Admit.GridHash != "deadbeef" {
+		t.Fatalf("Admit = %+v", sw.Admit)
+	}
+	if sw.Status == nil || sw.Status.State != "done" {
+		t.Fatalf("Status = %+v, want done", sw.Status)
+	}
+	if sw.Truncated {
+		t.Fatal("Truncated = true for an intact journal")
+	}
+	if len(sw.Points) != 3 {
+		t.Fatalf("Points = %+v, want 3 deduped", sw.Points)
+	}
+	for i, p := range sw.Points {
+		if p.Index != i {
+			t.Fatalf("Points not ascending: %+v", sw.Points)
+		}
+	}
+	// The duplicate index-1 append was suppressed: the first key wins.
+	if sw.Points[1].Key != "k1" {
+		t.Fatalf("Points[1].Key = %q, want k1", sw.Points[1].Key)
+	}
+	st := d.Stats()
+	if st.ReplayedSweeps != 1 || st.RecoveredPoints != 3 || st.Quarantined != 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestReplayTruncatesTornTail(t *testing.T) {
+	d := openDir(t)
+	w, err := d.Create(testAdmit("s-00000002", 4))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.Point(Point{Index: 0, Key: "k0"}); err != nil {
+		t.Fatalf("Point: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(d.Path(), "s-00000002.wal")
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a valid header promising more
+	// payload than the file holds.
+	tail := make([]byte, headerSize+3)
+	binary.LittleEndian.PutUint32(tail[0:4], 64)
+	if err := os.WriteFile(path, append(append([]byte{}, intact...), tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sweeps, err := d.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(sweeps) != 1 {
+		t.Fatalf("Replay returned %d sweeps, want 1", len(sweeps))
+	}
+	sw := sweeps[0]
+	if !sw.Truncated {
+		t.Fatal("Truncated = false, want torn tail cut")
+	}
+	if sw.Status != nil || len(sw.Points) != 1 || sw.Points[0].Index != 0 {
+		t.Fatalf("replayed sweep = %+v", sw)
+	}
+	if st := d.Stats(); st.TruncatedTails != 1 {
+		t.Fatalf("TruncatedTails = %d, want 1", st.TruncatedTails)
+	}
+	// The file was healed in place: a second replay sees no tear.
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) != len(intact) {
+		t.Fatalf("healed file is %d bytes, want %d", len(healed), len(intact))
+	}
+}
+
+func TestReplayQuarantinesCorruptJournal(t *testing.T) {
+	corruptions := map[string]func(data []byte) []byte{
+		"checksum flip": func(data []byte) []byte {
+			out := append([]byte{}, data...)
+			out[headerSize] ^= 0xff // flip a payload byte mid-file
+			return out
+		},
+		"absurd length": func(data []byte) []byte {
+			out := append([]byte{}, data...)
+			binary.LittleEndian.PutUint32(out[0:4], MaxRecordBytes+1)
+			return out
+		},
+		"no admission first": func(data []byte) []byte {
+			rec, _ := EncodeRecord(Record{Type: TypePoint, Point: &Point{Index: 0}})
+			return rec
+		},
+	}
+	for name, mangle := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			d := openDir(t)
+			w, err := d.Create(testAdmit("s-00000003", 2))
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if err := w.Point(Point{Index: 0, Key: "k0"}); err != nil {
+				t.Fatalf("Point: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			path := filepath.Join(d.Path(), "s-00000003.wal")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			sweeps, err := d.Replay()
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			if len(sweeps) != 0 {
+				t.Fatalf("Replay returned %d sweeps, want 0 (quarantined)", len(sweeps))
+			}
+			if st := d.Stats(); st.Quarantined != 1 {
+				t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt journal still at %s", path)
+			}
+			if _, err := os.Stat(filepath.Join(d.Path(), "quarantine", "s-00000003.wal")); err != nil {
+				t.Fatalf("quarantined copy missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestResumeCompactsAndDedupes(t *testing.T) {
+	d := openDir(t)
+	w, err := d.Create(testAdmit("s-00000004", 5))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Point(Point{Index: i, Key: "k"}); err != nil {
+			t.Fatalf("Point: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sweeps, err := d.Replay()
+	if err != nil || len(sweeps) != 1 {
+		t.Fatalf("Replay = %v, %v", sweeps, err)
+	}
+	w2, err := d.Resume(sweeps[0])
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	// Recovered indices are pre-marked: appending them again is a no-op.
+	for i := 0; i < 3; i++ {
+		if err := w2.Point(Point{Index: i, Key: "dup"}); err != nil {
+			t.Fatalf("recovered Point: %v", err)
+		}
+	}
+	if err := w2.Point(Point{Index: 3, Key: "k3"}); err != nil {
+		t.Fatalf("new Point: %v", err)
+	}
+	if err := w2.Finish(Status{State: "done"}); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	sweeps, err = d.Replay()
+	if err != nil || len(sweeps) != 1 {
+		t.Fatalf("second Replay = %v, %v", sweeps, err)
+	}
+	sw := sweeps[0]
+	if len(sw.Points) != 4 {
+		t.Fatalf("Points after resume = %+v, want 4", sw.Points)
+	}
+	if sw.Points[0].Key != "k" || sw.Points[3].Key != "k3" {
+		t.Fatalf("resume rewrote recovered points: %+v", sw.Points)
+	}
+	if sw.Status == nil || sw.Status.State != "done" {
+		t.Fatalf("Status = %+v", sw.Status)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	good, err := EncodeRecord(Record{Type: TypeStatus, Status: &Status{State: "done"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		data []byte
+		want error
+	}{
+		"short header":   {good[:headerSize-1], ErrTorn},
+		"short payload":  {good[:len(good)-1], ErrTorn},
+		"zero length":    {make([]byte, headerSize), ErrCorrupt},
+		"bad checksum":   {append(append([]byte{}, good[:headerSize]...), make([]byte, len(good)-headerSize)...), ErrCorrupt},
+		"unknown type":   {mustEncodeRaw(t, `{"type":"mystery"}`), ErrCorrupt},
+		"typeless admit": {mustEncodeRaw(t, `{"type":"admit"}`), ErrCorrupt},
+		"bad json":       {mustEncodeRaw(t, `{"type":`), ErrCorrupt},
+	}
+	for name, tc := range cases {
+		if _, _, err := DecodeRecord(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeRecord = %v, want %v", name, err, tc.want)
+		}
+	}
+	rec, n, err := DecodeRecord(good)
+	if err != nil || n != len(good) || rec.Type != TypeStatus {
+		t.Fatalf("DecodeRecord(good) = %+v, %d, %v", rec, n, err)
+	}
+}
+
+// mustEncodeRaw frames an arbitrary payload with a correct checksum,
+// for exercising post-checksum decode failures.
+func mustEncodeRaw(t *testing.T, payload string) []byte {
+	t.Helper()
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE([]byte(payload)))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+func TestValidID(t *testing.T) {
+	valid := []string{"s-00000001", "a_b.c", "X9"}
+	invalid := []string{"", ".hidden", "a/b", "a b", "..", "s\x00", string(make([]byte, 129))}
+	for _, id := range valid {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false", id)
+		}
+	}
+	for _, id := range invalid {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true", id)
+		}
+	}
+}
+
+func TestParseSync(t *testing.T) {
+	for want, name := range map[Sync]string{SyncAlways: "always", SyncInterval: "interval", SyncNever: "never"} {
+		got, err := ParseSync(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSync(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	if _, err := ParseSync("sometimes"); err == nil {
+		t.Error("ParseSync accepted an unknown policy")
+	}
+}
+
+// TestChaosAppendFault drives concurrent Point appends through an
+// armed journal.append point under -race: dropped appends are counted,
+// the writer survives, and everything that did land replays intact.
+func TestChaosAppendFault(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	faults.Seed(42)
+	if err := faults.P(FaultAppend).Arm(faults.Injection{Mode: faults.ModeErr, Rate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	d := openDir(t)
+	w, err := d.Create(testAdmit("s-00000005", 64))
+	if err != nil {
+		// The admission append itself can draw the fault; that is the
+		// degraded-journal path the server logs and tolerates.
+		t.Skipf("admission drew the fault: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				w.Point(Point{Index: g*16 + i, Key: "k"}) // errors are drops, by design
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	faults.Reset()
+
+	st := d.Stats()
+	if st.DroppedAppends == 0 {
+		t.Fatal("chaos run dropped no appends")
+	}
+	sweeps, err := d.Replay()
+	if err != nil || len(sweeps) != 1 {
+		t.Fatalf("Replay = %v, %v", sweeps, err)
+	}
+	seen := make(map[int]bool)
+	for _, p := range sweeps[0].Points {
+		if p.Index < 0 || p.Index >= 64 || seen[p.Index] {
+			t.Fatalf("bad replayed point %+v", p)
+		}
+		seen[p.Index] = true
+	}
+}
+
+// TestChaosReplayFault arms journal.replay: the file is quarantined as
+// if corrupt, and Replay itself never fails.
+func TestChaosReplayFault(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	d := openDir(t)
+	w, err := d.Create(testAdmit("s-00000006", 1))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := faults.P(FaultReplay).Arm(faults.Injection{Mode: faults.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+	sweeps, err := d.Replay()
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(sweeps) != 0 {
+		t.Fatalf("Replay returned %d sweeps, want 0", len(sweeps))
+	}
+	if st := d.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/faults"
 	"github.com/maps-sim/mapsim/internal/fleet"
 	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/journal"
 	"github.com/maps-sim/mapsim/internal/obs"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sim"
@@ -117,6 +118,22 @@ type Config struct {
 	// one worker after this long to another (default 30s; negative
 	// disables straggler re-issue).
 	FleetStragglerAfter time.Duration
+	// Journal, when set, write-ahead-logs every sweep (admission,
+	// per-point completions, terminal status — see internal/journal):
+	// New replays it, resuming unfinished sweeps under their original
+	// IDs with already-completed points served from the result store,
+	// so clients reattach to GET /v1/sweeps/{id} across restarts. Nil
+	// disables journaling. Wired from cmd/mapsd -journal-dir.
+	Journal *journal.Dir
+	// SweepTTL evicts finished sweeps from the registry — and removes
+	// their journals — this long after they finish (default 1h;
+	// negative disables TTL eviction). Their per-point results remain
+	// in the store.
+	SweepTTL time.Duration
+	// MaxSweeps caps the sweep registry; past it the oldest finished
+	// sweeps are evicted first (default 512; negative removes the
+	// cap). Running sweeps are never evicted by either bound.
+	MaxSweeps int
 }
 
 func (c *Config) fill() {
@@ -142,6 +159,16 @@ func (c *Config) fill() {
 		c.FleetStragglerAfter = 30 * time.Second
 	} else if c.FleetStragglerAfter < 0 {
 		c.FleetStragglerAfter = 0 // disabled
+	}
+	if c.SweepTTL == 0 {
+		c.SweepTTL = time.Hour
+	} else if c.SweepTTL < 0 {
+		c.SweepTTL = 0 // disabled
+	}
+	if c.MaxSweeps == 0 {
+		c.MaxSweeps = 512
+	} else if c.MaxSweeps < 0 {
+		c.MaxSweeps = 0 // uncapped
 	}
 }
 
@@ -177,9 +204,14 @@ type Server struct {
 	deduped  atomic.Uint64
 
 	// Sweep registry (see sweeps.go): coordinators run in their own
-	// goroutines and shard points into the pool.
-	sweeps   map[string]*sweepJob
-	sweepSeq uint64
+	// goroutines and shard points into the pool. journal, when
+	// non-nil, write-ahead-logs every sweep; sweepTTL and maxSweeps
+	// bound the registry (evictSweeps).
+	sweeps    map[string]*sweepJob
+	sweepSeq  uint64
+	journal   *journal.Dir
+	sweepTTL  time.Duration
+	maxSweeps int
 
 	// Fleet dispatch state: registered remote workers, the straggler
 	// deadline, and the cumulative per-worker counters behind the
@@ -193,6 +225,8 @@ type Server struct {
 	sweepPointsPlanned atomic.Uint64
 	sweepPointsDone    atomic.Uint64
 	sweepPointsDeduped atomic.Uint64
+	sweepsEvicted      atomic.Uint64
+	sweepsRecovered    atomic.Uint64
 
 	// shards is Config.Shards, applied to run configs in runFn/suiteFn.
 	shards int
@@ -246,6 +280,9 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		phaseSecs: make(map[string]float64),
 		maxBody:   cfg.MaxBodyBytes,
+		journal:   cfg.Journal,
+		sweepTTL:  cfg.SweepTTL,
+		maxSweeps: cfg.MaxSweeps,
 
 		fleetWorkers:   cfg.Fleet,
 		stragglerAfter: cfg.FleetStragglerAfter,
@@ -273,6 +310,12 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	s.handler = s.logMiddleware(s.recoverMiddleware(s.mux))
+	// Journal replay last, once the pool and store are serving: every
+	// unfinished sweep resumes under its original ID, completed points
+	// pre-marked so the store — not the simulator — supplies them.
+	if s.journal != nil {
+		s.recoverSweeps()
+	}
 	return s
 }
 
@@ -293,8 +336,11 @@ func (s *Server) MarkDraining() { s.draining.Store(true) }
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	// Abort sweep coordinators first: they submit to the pool from
-	// their own goroutines and must not race the drain.
+	// their own goroutines and must not race the drain. Then wait for
+	// each to settle — a draining shutdown closes its journal without
+	// a terminal record, so the next start resumes it like a crash.
 	s.cancelSweeps()
+	s.awaitSweeps(ctx)
 	err := s.pool.Shutdown(ctx)
 	// Close drains the write queue even when the pool drain timed
 	// out: persisting what did finish is exactly what makes the next
@@ -357,6 +403,14 @@ func (s *Server) PoolStats() jobs.Stats { return s.pool.Stats() }
 // identical in-flight job (singleflight) — the counter that proves a
 // retried submit did not double-run.
 func (s *Server) Deduped() uint64 { return s.deduped.Load() }
+
+// SweepsEvicted returns how many finished sweeps the registry has
+// evicted (TTL or cap) — behind mapsd_sweeps_evicted_total.
+func (s *Server) SweepsEvicted() uint64 { return s.sweepsEvicted.Load() }
+
+// SweepsRecovered returns how many unfinished sweeps startup resumed
+// from the journal.
+func (s *Server) SweepsRecovered() uint64 { return s.sweepsRecovered.Load() }
 
 // ShedCount returns how many submissions were refused with 429
 // because the queue was saturated.
@@ -737,6 +791,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Scrapes double as the sweep registry's eviction timer: TTL-expired
+	// finished sweeps are dropped even on an otherwise idle daemon.
+	s.evictSweeps(time.Now())
 	ps := s.pool.Stats()
 	cs := s.cache.Stats()
 	instr := s.instrTotal.Load()
@@ -826,6 +883,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_done_total counter\nmapsd_sweep_points_done_total %d\n", ss.PointsDone)
 	fmt.Fprintf(w, "# HELP mapsd_sweep_points_deduped_total Sweep points served from the results cache without simulating.\n")
 	fmt.Fprintf(w, "# TYPE mapsd_sweep_points_deduped_total counter\nmapsd_sweep_points_deduped_total %d\n", ss.PointsDeduped)
+	fmt.Fprintf(w, "# HELP mapsd_sweeps_evicted_total Finished sweeps dropped from the registry by TTL or the registry cap.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_sweeps_evicted_total counter\nmapsd_sweeps_evicted_total %d\n", s.sweepsEvicted.Load())
+	fmt.Fprintf(w, "# HELP mapsd_sweeps_recovered_total Unfinished sweeps resumed from the journal at startup.\n")
+	fmt.Fprintf(w, "# TYPE mapsd_sweeps_recovered_total counter\nmapsd_sweeps_recovered_total %d\n", s.sweepsRecovered.Load())
+
+	if s.journal != nil {
+		js := s.journal.Stats()
+		fmt.Fprintf(w, "# HELP mapsd_journal_appends_total Sweep journal records durably appended.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_journal_appends_total counter\nmapsd_journal_appends_total %d\n", js.Appends)
+		fmt.Fprintf(w, "# HELP mapsd_journal_dropped_appends_total Journal records lost to write errors or faults; each costs recovery fidelity, never availability.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_journal_dropped_appends_total counter\nmapsd_journal_dropped_appends_total %d\n", js.DroppedAppends)
+		fmt.Fprintf(w, "# TYPE mapsd_journal_replayed_sweeps_total counter\nmapsd_journal_replayed_sweeps_total %d\n", js.ReplayedSweeps)
+		fmt.Fprintf(w, "# TYPE mapsd_journal_recovered_points_total counter\nmapsd_journal_recovered_points_total %d\n", js.RecoveredPoints)
+		fmt.Fprintf(w, "# HELP mapsd_journal_truncated_tails_total Torn journal tails healed in place during replay.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_journal_truncated_tails_total counter\nmapsd_journal_truncated_tails_total %d\n", js.TruncatedTails)
+		fmt.Fprintf(w, "# HELP mapsd_journal_quarantined_total Corrupt journals moved aside; each costs one sweep's recovery, never a crash.\n")
+		fmt.Fprintf(w, "# TYPE mapsd_journal_quarantined_total counter\nmapsd_journal_quarantined_total %d\n", js.Quarantined)
+	}
 
 	// Fleet dispatch counters, one labeled series per worker this
 	// coordinator has ever dispatched to ("local" is this daemon's own

@@ -6,12 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"github.com/maps-sim/mapsim/internal/fleet"
 	"github.com/maps-sim/mapsim/internal/jobs"
+	"github.com/maps-sim/mapsim/internal/journal"
+	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sweep"
 )
 
@@ -126,6 +129,13 @@ type SweepStatus struct {
 
 // sweepJob is the server-side record of one sweep run.
 type sweepJob struct {
+	// id is the sweep's stable identifier, immutable after creation.
+	id string
+	// wal is the sweep's write-ahead journal; nil when journaling is
+	// off or its admission failed (the sweep then runs fine but will
+	// not survive a restart).
+	wal *journal.Writer
+
 	mu     sync.Mutex
 	status SweepStatus
 	result *sweep.Result
@@ -199,6 +209,11 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Submission doubles as the eviction trigger: finished sweeps past
+	// their TTL, or past the registry cap, make room before this one
+	// registers.
+	s.evictSweeps(time.Now())
+
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &sweepJob{cancel: cancel, done: make(chan struct{})}
 	j.status = SweepStatus{
@@ -209,17 +224,29 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.sweepSeq++
 	id := fmt.Sprintf("s-%08d", s.sweepSeq)
+	j.id = id
 	j.status.ID = id
 	s.sweeps[id] = j
 	s.mu.Unlock()
 	s.sweepsStarted.Add(1)
 	s.sweepPointsPlanned.Add(uint64(len(points)))
+	j.wal = s.journalAdmit(id, req, points, j.status.Created)
 
-	// Every sweep dispatches through a fleet coordinator: this
-	// daemon's pool is the first worker (bounded by the request's
-	// parallelism), registered remotes are the rest. With no remotes
-	// this degenerates to exactly the single-node engine's behavior.
-	parallelism := req.Parallelism
+	s.startSweep(ctx, cancel, j, spec, req.Parallelism,
+		time.Duration(req.TimeoutSec*float64(time.Second)), nil)
+
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// startSweep builds the sweep's fleet coordinator and runs it in its
+// own goroutine, NOT as a pool job: a coordinator occupying a worker
+// slot while waiting on its own point jobs could deadlock a full pool
+// against itself. This daemon's pool is the first worker (bounded by
+// parallelism), registered remotes are the rest; with no remotes this
+// degenerates to exactly the single-node engine's behavior. completed
+// pre-marks journal-recovered points (nil for fresh sweeps).
+func (s *Server) startSweep(ctx context.Context, cancel context.CancelFunc, j *sweepJob,
+	spec sweep.Spec, parallelism int, timeout time.Duration, completed map[int]bool) {
 	if parallelism <= 0 {
 		parallelism = s.pool.Stats().Workers
 	}
@@ -232,7 +259,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	coord := &fleet.Coordinator{
 		Workers:        workers,
 		Cache:          s.store,
-		Timeout:        time.Duration(req.TimeoutSec * float64(time.Second)),
+		Completed:      completed,
+		Timeout:        timeout,
 		StragglerAfter: s.stragglerAfter,
 		Metrics:        s.fleetMetrics,
 		Logger:         s.log,
@@ -252,16 +280,13 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			j.mu.Unlock()
 			s.sweepPointsDone.Add(1)
+			s.journalPoint(j, pr)
 		},
 	}
-	// The coordinator runs in its own goroutine, NOT as a pool job: a
-	// coordinator occupying a worker slot while waiting on its own
-	// point jobs could deadlock a full pool against itself.
 	go func() {
 		defer cancel()
 		res, err := coord.Run(ctx, spec)
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		j.status.Finished = time.Now()
 		switch {
 		case err == nil:
@@ -274,10 +299,130 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			j.status.State = jobs.StateFailed
 			j.status.Error = err.Error()
 		}
+		state, msg := j.status.State, j.status.Error
+		j.mu.Unlock()
+		if j.wal != nil {
+			if state == jobs.StateCanceled && s.draining.Load() {
+				// A draining shutdown is not a verdict on the sweep:
+				// close the journal without a terminal record so the
+				// next start resumes it exactly like a crash.
+				j.wal.Close()
+			} else {
+				j.wal.Finish(journal.Status{State: string(state), Error: msg})
+			}
+		}
 		close(j.done)
 	}()
+}
 
-	writeJSON(w, http.StatusAccepted, j.snapshot())
+// journalAdmit opens the sweep's write-ahead log and records its
+// admission. A nil return means journaling is off or degraded — the
+// sweep runs fine but will not survive a restart (logged at Warn).
+func (s *Server) journalAdmit(id string, req SweepRequest, points []sweep.Point, created time.Time) *journal.Writer {
+	if s.journal == nil {
+		return nil
+	}
+	spec, err := json.Marshal(req)
+	if err == nil {
+		var w *journal.Writer
+		if w, err = s.journal.Create(journal.Admit{
+			ID:       id,
+			Created:  created.UTC(),
+			Total:    len(points),
+			GridHash: sweepGridHash(points),
+			Spec:     spec,
+		}); err == nil {
+			return w
+		}
+	}
+	s.log.Warn("sweep journal admission failed; sweep will not survive a restart",
+		"sweep", id, "err", err)
+	return nil
+}
+
+// journalPoint appends one completed point to the sweep's journal.
+// Append failures degrade to an unjournaled point — a crash would
+// re-dispatch it, and the store would answer — never a sweep failure.
+func (s *Server) journalPoint(j *sweepJob, pr sweep.PointResult) {
+	if j.wal == nil {
+		return
+	}
+	pol, part := sweep.CacheNames(pr.Point)
+	key, _ := results.PointKeyFor(pr.Point.Config, pol, part)
+	if err := j.wal.Point(journal.Point{
+		Index:  pr.Point.Index,
+		Key:    string(key),
+		Worker: pr.Worker,
+		Cached: pr.Cached,
+	}); err != nil {
+		s.log.Debug("sweep journal append dropped",
+			"sweep", j.id, "point", pr.Point.Index, "err", err)
+	}
+}
+
+// evictSweeps drops finished sweeps from the registry: first every
+// one finished longer than the TTL ago, then the oldest finished ones
+// past the registry cap. Running sweeps are never evicted. A sweep's
+// journal goes with its registry entry — by then its points live in
+// the result store, so nothing irreplaceable is lost. Called
+// opportunistically on submissions and /metrics scrapes.
+func (s *Server) evictSweeps(now time.Time) {
+	if s.sweepTTL <= 0 && s.maxSweeps <= 0 {
+		return
+	}
+	type cand struct {
+		id       string
+		finished time.Time
+	}
+	s.mu.Lock()
+	var terminal []cand
+	for id, j := range s.sweeps {
+		if st := j.snapshot(); st.State.Terminal() {
+			terminal = append(terminal, cand{id, st.Finished})
+		}
+	}
+	sort.Slice(terminal, func(i, k int) bool {
+		return terminal[i].finished.Before(terminal[k].finished)
+	})
+	keep := len(s.sweeps)
+	var evicted []string
+	for _, c := range terminal {
+		expired := s.sweepTTL > 0 && now.Sub(c.finished) > s.sweepTTL
+		over := s.maxSweeps > 0 && keep > s.maxSweeps
+		if !expired && !over {
+			break
+		}
+		delete(s.sweeps, c.id)
+		keep--
+		evicted = append(evicted, c.id)
+	}
+	s.mu.Unlock()
+	for _, id := range evicted {
+		s.sweepsEvicted.Add(1)
+		if s.journal != nil {
+			s.journal.Remove(id)
+		}
+		s.log.Debug("sweep evicted", "sweep", id)
+	}
+}
+
+// awaitSweeps blocks (bounded by ctx) until every sweep coordinator
+// has recorded its terminal state and settled its journal — the
+// shutdown step that makes a graceful restart resume cleanly.
+func (s *Server) awaitSweeps(ctx context.Context) {
+	s.mu.Lock()
+	active := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		active = append(active, j)
+	}
+	s.mu.Unlock()
+	for _, j := range active {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // sweepByID looks up a sweep record.

@@ -1,0 +1,110 @@
+#!/bin/sh
+# crash_drill.sh — kill-and-recover drill for the sweep journal.
+#
+# Starts a journaled mapsd, submits a slow sweep, SIGKILLs the daemon
+# mid-sweep, restarts it on the same -journal-dir/-store-dir, and
+# verifies the sweep resumes under its original ID and completes with
+# the already-finished points served from the store. The walkthrough
+# in docs/ROBUSTNESS.md is this script, narrated.
+#
+# Port can be overridden: CRASH_DRILL_PORT=9000 make crash-drill
+set -eu
+
+PORT="${CRASH_DRILL_PORT:-8773}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "crash-drill: building mapsd..."
+go build -o "$WORK/mapsd" ./cmd/mapsd
+
+start_daemon() {
+    "$WORK/mapsd" -addr "127.0.0.1:$PORT" -workers 1 \
+        -journal-dir "$WORK/journal" -store-dir "$WORK/store" &
+    PID=$!
+    i=0
+    while ! curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "crash-drill: daemon never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "crash-drill: starting a journaled daemon on :$PORT..."
+start_daemon
+
+echo "crash-drill: submitting a slow 8-point sweep..."
+SUBMIT=$(curl -sf -X POST "$BASE/v1/sweeps" -H 'Content-Type: application/json' -d '{
+    "base": {"instructions": 5000000, "speculation": true},
+    "axes": {
+        "benchmarks": ["fft", "canneal"],
+        "meta": {"points": ["16KB", "32KB", "64KB", "128KB"]}
+    }
+}')
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "crash-drill: no sweep id in: $SUBMIT" >&2; exit 1; }
+echo "crash-drill: sweep $ID admitted"
+
+echo "crash-drill: waiting for at least 2 completed points..."
+i=0
+while :; do
+    DONE=$(curl -sf "$BASE/v1/sweeps/$ID" | sed -n 's/.*"done": *\([0-9]*\).*/\1/p')
+    [ "${DONE:-0}" -ge 2 ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "crash-drill: sweep made no progress" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "crash-drill: $DONE points done — waiting for the store to flush..."
+i=0
+while ! curl -sf "$BASE/metrics" | grep -q '^mapsd_store_pending_writes 0$'; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && break
+    sleep 0.1
+done
+
+echo "crash-drill: SIGKILL (no drain, no goodbye)..."
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "crash-drill: restarting on the same journal and store..."
+start_daemon
+RECOVERED=$(curl -sf "$BASE/metrics" | sed -n 's/^mapsd_sweeps_recovered_total \([0-9]*\)$/\1/p')
+if [ "${RECOVERED:-0}" -ne 1 ]; then
+    echo "crash-drill: expected 1 recovered sweep, got ${RECOVERED:-0}" >&2
+    exit 1
+fi
+echo "crash-drill: sweep $ID recovered — waiting for completion..."
+i=0
+while :; do
+    STATUS=$(curl -sf "$BASE/v1/sweeps/$ID")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done) break ;;
+        failed|canceled) echo "crash-drill: sweep ended $STATE: $STATUS" >&2; exit 1 ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "crash-drill: recovered sweep never finished" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+DEDUPED=$(printf '%s' "$STATUS" | sed -n 's/.*"deduped": *\([0-9]*\).*/\1/p')
+echo "crash-drill: sweep $ID completed; $DEDUPED points served from the store, none re-simulated"
+curl -sf "$BASE/metrics" | grep '^mapsd_journal\|^mapsd_sweeps_recovered' || true
+
+echo "crash-drill: OK"

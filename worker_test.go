@@ -108,6 +108,7 @@ func sanitizeSweep(t *testing.T, res *mapsim.SweepResult) []byte {
 	t.Helper()
 	cp := *res
 	cp.Wall = 0
+	cp.Deduped = 0
 	cp.Points = append([]sweep.PointResult(nil), res.Points...)
 	for i := range cp.Points {
 		cp.Points[i].Worker = ""
