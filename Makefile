@@ -10,7 +10,7 @@ GO ?= go
 # fleet coordinator, sweep journal, and the root package's fleet and
 # crash e2e tests) — the ones -race can actually catch regressions in.
 # The server and journal lists include the chaos tests.
-RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store ./internal/fleet ./internal/journal .
+RACE_PKGS := ./internal/server ./internal/jobs ./internal/results ./internal/sim ./internal/faults ./internal/sweep ./internal/store ./internal/fleet ./internal/journal ./internal/trace ./internal/workload ./internal/workload/spec .
 
 # Hot-loop benchmarks guarded by the perf-regression gate
 # (cmd/benchcheck + BENCH_kernel.json; see docs/PERFORMANCE.md).
@@ -51,13 +51,17 @@ race:
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'TestEpoch|TestConcurrencyFromContext|TestEffectiveShards|TestShardsCanonicalErased' ./internal/sim
 
 # Ten seconds of coverage-guided fuzzing per decoder that parses
-# untrusted bytes: the trace reader, the store's envelope decoder (fed
-# by disk files and peer responses), and the sweep journal's record
-# decoder (fed by crash-scrambled WAL files) — enough to catch parser
-# regressions on malformed input without slowing the gate
-# meaningfully. Fuzz corpus findings land in each package's testdata.
+# untrusted bytes: the trace readers (legacy and streaming), the
+# workload-spec parser (hand-rolled YAML fed by user files and wire
+# requests), the store's envelope decoder (fed by disk files and peer
+# responses), and the sweep journal's record decoder (fed by
+# crash-scrambled WAL files) — enough to catch parser regressions on
+# malformed input without slowing the gate meaningfully. Fuzz corpus
+# findings land in each package's testdata.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz=FuzzReadStream -fuzztime=10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz=FuzzDecodeWorkloadSpec -fuzztime=10s ./internal/workload/spec
 	$(GO) test -run '^$$' -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/store
 	$(GO) test -run '^$$' -fuzz=FuzzDecodeJournalRecord -fuzztime=10s ./internal/journal
 

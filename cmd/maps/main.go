@@ -7,11 +7,15 @@
 //	maps [flags] <experiment> [experiment ...]
 //	maps all
 //	maps sweep [sweep flags]
+//	maps run [run flags]
 //
-// The sweep verb expands declarative axes (benchmarks, cache sizes,
-// contents, policies, partitions) into a config grid and runs it with
-// bounded parallelism, locally or against a mapsd daemon's
-// POST /v1/sweeps endpoint; `maps sweep -h` lists its flags.
+// The sweep verb expands declarative axes (benchmarks, workload
+// specs, cache sizes, contents, policies, partitions) into a config
+// grid and runs it with bounded parallelism, locally or against a
+// mapsd daemon's POST /v1/sweeps endpoint; `maps sweep -h` lists its
+// flags. The run verb executes one simulation of a named benchmark,
+// a declarative workload spec (docs/WORKLOADS.md), or a recorded
+// trace replayed in constant memory; `maps run -h` lists its flags.
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7, plus
 // the extensions ablate-partial, content-matrix, org-compare, csopt,
@@ -46,10 +50,14 @@ import (
 )
 
 func main() {
-	// The sweep verb has its own flag set (axes, remote daemon, ...):
-	// dispatch before the experiment flags ever parse.
+	// The sweep and run verbs have their own flag sets (axes, workload
+	// sources, remote daemon, ...): dispatch before the experiment
+	// flags ever parse.
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		os.Exit(runSweepCmd(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		os.Exit(runRunCmd(os.Args[2:]))
 	}
 
 	instructions := flag.Uint64("instructions", 2_000_000, "simulated instructions per run")
@@ -160,6 +168,7 @@ func usage() {
 usage: maps [flags] <experiment> [experiment ...]
        maps all
        maps sweep [sweep flags]   (see maps sweep -h)
+       maps run [run flags]       (see maps run -h)
 
 experiments:
   table1  simulation configuration

@@ -14,6 +14,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/cliutil"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/sweep"
+	wspec "github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // runSweepCmd implements the `maps sweep` verb: a declarative
@@ -23,6 +24,7 @@ import (
 func runSweepCmd(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	benchmarks := fs.String("benchmarks", "canneal,libquantum", "comma-separated benchmark axis")
+	specFiles := fs.String("workload-specs", "", `comma-separated workload-spec files (YAML or JSON) added to the benchmark axis; pass -benchmarks "" for a spec-only sweep`)
 	metaFlag := fs.String("meta", "", `metadata-cache size axis: sizes ("16KB,64KB,1MB") or a doubling range ("16KB..2MB")`)
 	llcFlag := fs.String("llc", "", `LLC size axis: sizes or a doubling range (empty = Table I's 2MB)`)
 	contents := fs.String("contents", "", "content-policy axis (counters, counters+hashes, all, ...)")
@@ -47,6 +49,10 @@ table. Example — the Figure 1 grid:
 
   maps sweep -benchmarks canneal,libquantum \
     -meta 16KB..2MB -contents counters,counters+hashes,all
+
+Declarative workload specs (docs/WORKLOADS.md) sweep alongside named
+benchmarks: -workload-specs mixed.yaml adds each spec to the
+benchmark axis, locally and through -remote.
 
 flags:
 `)
@@ -78,9 +84,15 @@ flags:
 		fmt.Fprintf(os.Stderr, "maps sweep: -partial: %v\n", err)
 		return 2
 	}
+	specs, err := loadWorkloadSpecs(*specFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maps sweep: -workload-specs: %v\n", err)
+		return 2
+	}
 
 	axes := sweep.Axes{
 		Benchmarks:    splitList(*benchmarks),
+		WorkloadSpecs: specs,
 		Secure:        secures,
 		LLC:           llc,
 		Meta:          meta,
@@ -144,6 +156,7 @@ func runSweepRemote(baseURL string, axes sweep.Axes, instructions uint64, secure
 		},
 		Axes: mapsim.SweepAxes{
 			Benchmarks:    axes.Benchmarks,
+			WorkloadSpecs: axes.WorkloadSpecs,
 			Secure:        axes.Secure,
 			LLC:           toWire(axes.LLC),
 			Meta:          toWire(axes.Meta),
@@ -181,6 +194,24 @@ func runSweepRemote(baseURL string, axes sweep.Axes, instructions uint64, secure
 				st.ID, st.Done, st.Total, st.Deduped, byWorker)
 		}
 	})
+}
+
+// loadWorkloadSpecs reads and validates a comma-separated list of
+// workload-spec files for the sweep's workload axis.
+func loadWorkloadSpecs(s string) ([]*wspec.Spec, error) {
+	var specs []*wspec.Spec
+	for _, path := range splitList(s) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := wspec.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
 }
 
 // splitList splits a comma-separated flag, dropping empty items.

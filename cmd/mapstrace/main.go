@@ -6,13 +6,21 @@
 // Usage:
 //
 //	mapstrace record -bench canneal -out canneal.trace [-instructions N] [-meta 64KB]
+//	mapstrace record-workload -bench canneal -out canneal.mtrc [-gz] [-instructions N] [-seed N]
 //	mapstrace info canneal.trace
 //	mapstrace analyze canneal.trace
+//
+// record taps the simulator's metadata stream (counters, hashes, tree
+// levels); record-workload captures the *workload's* data-access
+// stream instead, in the chunked streaming format that `maps run
+// -trace` replays in constant memory. Both info and analyze stream
+// their input, so multi-gigabyte traces never load into memory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/maps-sim/mapsim/internal/cliutil"
@@ -22,6 +30,8 @@ import (
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/stats"
 	"github.com/maps-sim/mapsim/internal/trace"
+	"github.com/maps-sim/mapsim/internal/workload"
+	wspec "github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 func main() {
@@ -33,10 +43,12 @@ func main() {
 	switch os.Args[1] {
 	case "record":
 		err = record(os.Args[2:])
+	case "record-workload":
+		err = recordWorkload(os.Args[2:])
 	case "info":
-		err = withTrace(os.Args[2:], info)
+		err = withReader(os.Args[2:], info)
 	case "analyze":
-		err = withTrace(os.Args[2:], analyze)
+		err = withReader(os.Args[2:], analyze)
 	default:
 		usage()
 		os.Exit(2)
@@ -48,12 +60,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `mapstrace — record and inspect metadata access traces
+	fmt.Fprintln(os.Stderr, `mapstrace — record and inspect access traces
 
 usage:
   mapstrace record -bench <name> -out <file> [-instructions N] [-meta SIZE]
+  mapstrace record-workload (-bench <name> | -spec <file>) -out <file> [-gz] [-instructions N] [-seed N]
   mapstrace info <file>       counts, read/write mix, miss costs
-  mapstrace analyze <file>    reuse-distance CDFs per metadata type`)
+  mapstrace analyze <file>    reuse-distance CDFs per metadata type
+
+record captures the simulator's metadata stream; record-workload
+captures a workload generator's data-access stream for constant-memory
+replay via "maps run -trace". info and analyze stream their input.`)
 }
 
 func record(args []string) error {
@@ -102,7 +119,94 @@ func record(args []string) error {
 	return nil
 }
 
-func withTrace(args []string, fn func(*trace.Trace) error) error {
+// recordWorkload drains a workload generator — a named benchmark or a
+// declarative spec — into a streaming trace that `maps run -trace`
+// replays in constant memory. It records until the stream's gap sum
+// covers the instruction budget plus warmup and slack, so a replay at
+// the same -instructions never needs to wrap.
+func recordWorkload(args []string) error {
+	fs := flag.NewFlagSet("record-workload", flag.ExitOnError)
+	bench := fs.String("bench", "", "named benchmark to record")
+	specFile := fs.String("spec", "", "workload-spec file (YAML or JSON) to record")
+	out := fs.String("out", "", "output file (required)")
+	compress := fs.Bool("gz", false, "gzip-compress the record stream")
+	instructions := fs.Uint64("instructions", 2_000_000, "instruction budget the recording must cover")
+	seed := fs.Int64("seed", 0, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record-workload: -out is required")
+	}
+	if (*bench == "") == (*specFile == "") {
+		return fmt.Errorf("record-workload: exactly one of -bench or -spec is required")
+	}
+
+	var gen workload.Generator
+	if *bench != "" {
+		g, err := workload.New(*bench)
+		if err != nil {
+			return err
+		}
+		gen = g
+	} else {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		sp, err := wspec.Parse(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *specFile, err)
+		}
+		if gen, err = sp.Generator(); err != nil {
+			return err
+		}
+	}
+	// The simulator maps seed 0 to 1 (sim.Config's default), so do
+	// the same here: a default-seed replay then reproduces the
+	// default-seed direct run bit for bit.
+	if *seed == 0 {
+		*seed = 1
+	}
+	gen.Reset(*seed)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.StreamHeader{
+		Name:      gen.Name(),
+		Footprint: gen.Footprint(),
+	}, *compress)
+	if err != nil {
+		return err
+	}
+
+	// Warmup defaults to Instructions/10; an extra eighth of slack
+	// absorbs rounding in the simulator's access scheduling.
+	target := *instructions + *instructions/10 + *instructions/8
+	var gapSum uint64
+	var a workload.Access
+	for gapSum < target {
+		gen.Next(&a)
+		gapSum += uint64(a.Gap)
+		rec := trace.Record{Addr: a.Addr, Write: a.Write, Gap: a.Gap}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses (%d instructions covered) from %s to %s\n",
+		w.Count(), gapSum, gen.Name(), *out)
+	return nil
+}
+
+// withReader opens the single trace-file argument as a streaming
+// reader (both the streaming and legacy formats) and hands it to fn.
+func withReader(args []string, fn func(*trace.Reader) error) error {
 	if len(args) != 1 {
 		return fmt.Errorf("expected exactly one trace file argument")
 	}
@@ -111,60 +215,88 @@ func withTrace(args []string, fn func(*trace.Trace) error) error {
 		return err
 	}
 	defer f.Close()
-	var tr trace.Trace
-	if _, err := tr.ReadFrom(f); err != nil {
+	r, err := trace.NewReader(f)
+	if err != nil {
 		return fmt.Errorf("reading %s: %w", args[0], err)
 	}
-	return fn(&tr)
+	if err := fn(r); err != nil {
+		return fmt.Errorf("reading %s: %w", args[0], err)
+	}
+	return nil
 }
 
-func info(tr *trace.Trace) error {
+func info(r *trace.Reader) error {
 	type agg struct {
 		reads, writes uint64
 		costSum       uint64
 		costMax       uint8
 	}
 	perKind := map[memlayout.Kind]*agg{}
-	for _, a := range tr.Accesses {
-		k := memlayout.Kind(a.Class)
+	var total, gapSum uint64
+	var rec trace.Record
+	for {
+		if err := r.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		total++
+		gapSum += uint64(rec.Gap)
+		k := memlayout.Kind(rec.Class)
 		g := perKind[k]
 		if g == nil {
 			g = &agg{}
 			perKind[k] = g
 		}
-		if a.Write {
+		if rec.Write {
 			g.writes++
 		} else {
 			g.reads++
 		}
-		g.costSum += uint64(a.Cost)
-		if a.Cost > g.costMax {
-			g.costMax = a.Cost
+		g.costSum += uint64(rec.Cost)
+		if rec.Cost > g.costMax {
+			g.costMax = rec.Cost
 		}
 	}
-	fmt.Printf("trace: %d metadata accesses\n\n", tr.Len())
+	if h := r.Header(); h.Name != "" {
+		fmt.Printf("workload: %s (footprint %d bytes)\n", h.Name, h.Footprint)
+	}
+	fmt.Printf("trace: %d accesses", total)
+	if total > 0 {
+		fmt.Printf(", mean gap %.2f", float64(gapSum)/float64(total))
+	}
+	fmt.Print("\n\n")
 	var t stats.Table
 	t.AddRow("kind", "reads", "writes", "write%", "avg cost", "max cost")
-	for _, k := range memlayout.MetaKinds {
+	kinds := append([]memlayout.Kind{memlayout.KindData}, memlayout.MetaKinds...)
+	for _, k := range kinds {
 		g := perKind[k]
 		if g == nil {
 			continue
 		}
-		total := g.reads + g.writes
+		n := g.reads + g.writes
 		t.AddRow(k.String(),
 			fmt.Sprintf("%d", g.reads), fmt.Sprintf("%d", g.writes),
-			fmt.Sprintf("%.1f%%", 100*float64(g.writes)/float64(total)),
-			fmt.Sprintf("%.2f", float64(g.costSum)/float64(total)),
+			fmt.Sprintf("%.1f%%", 100*float64(g.writes)/float64(n)),
+			fmt.Sprintf("%.2f", float64(g.costSum)/float64(n)),
 			fmt.Sprintf("%d", g.costMax))
 	}
 	fmt.Print(t.String())
 	return nil
 }
 
-func analyze(tr *trace.Trace) error {
-	an := reuse.NewAnalyzer(tr.Len())
-	for _, a := range tr.Accesses {
-		an.Record(a.Addr, memlayout.Kind(a.Class), a.Write)
+func analyze(r *trace.Reader) error {
+	an := reuse.NewAnalyzer(0)
+	var rec trace.Record
+	for {
+		if err := r.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		an.Record(rec.Addr, memlayout.Kind(rec.Class), rec.Write)
 	}
 	thresholds := []uint64{512, 4 << 10, 32 << 10, 288 << 10, 1 << 20, 16 << 20}
 	var t stats.Table
@@ -181,7 +313,8 @@ func analyze(tr *trace.Trace) error {
 	}
 	header = append(header, "bimodality")
 	t.AddRow(header...)
-	for _, k := range memlayout.MetaKinds {
+	kinds := append([]memlayout.Kind{memlayout.KindData}, memlayout.MetaKinds...)
+	for _, k := range kinds {
 		if an.Accesses(k) == 0 {
 			continue
 		}

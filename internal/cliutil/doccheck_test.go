@@ -81,6 +81,9 @@ func TestRepoPackagesFullyDocumented(t *testing.T) {
 		"../store",
 		"../fleet",
 		"../journal",
+		"../trace",
+		"../workload",
+		"../workload/spec",
 		"../..", // root package: client.go, mapsim.go, worker.go
 	} {
 		missing, err := MissingDocs(dir)

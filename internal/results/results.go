@@ -162,6 +162,13 @@ func hashConfig(h hash.Hash, c sim.Config) {
 	hashFloat(h, "dramact", c.DRAM.RowActivatePJ)
 	hashFloat(h, "cpi", c.BaseCPI)
 	hashField(h, "lat", c.L2HitLatency, c.L3HitLatency)
+	if c.WorkloadSpec != nil {
+		// Canonical() already normalized the spec, so equivalent
+		// spellings serialize — and therefore hash — identically. The
+		// tag keeps a spec-driven run from ever colliding with a named
+		// benchmark of the same label.
+		hashString(h, "wspec", string(c.WorkloadSpec.CanonicalJSON()))
+	}
 }
 
 // Stats counts cache activity. Hits/Misses/Evictions are cumulative;

@@ -1,0 +1,111 @@
+package results
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/sim"
+	wspec "github.com/maps-sim/mapsim/internal/workload/spec"
+)
+
+// specKeyYAML and specKeyJSON describe the same workload in different
+// syntaxes, field orders, and default spellings: canonicalization
+// must collapse them to one content address.
+const specKeyYAML = `
+name: key-mix
+clients:
+  - name: web
+    rate_fraction: 0.75
+    footprint: 256KB
+    arrival:
+      process: poisson
+  - name: batch
+    rate_fraction: 0.25
+    footprint: 512KB
+    write_fraction: 0.5
+`
+
+const specKeyJSON = `{
+  "version": 1,
+  "name": "key-mix",
+  "mean_gap": 4,
+  "clients": [
+    {"name": "web", "rate_fraction": 0.75, "footprint": 262144,
+     "arrival": {"process": "poisson"}, "sequential_run": 1},
+    {"name": "batch", "rate_fraction": 0.25, "footprint": "512KB",
+     "write_fraction": 0.5}
+  ]
+}`
+
+func mustParse(t *testing.T, src string) *wspec.Spec {
+	t.Helper()
+	sp, err := wspec.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestSpecKeySpellingInvariant(t *testing.T) {
+	a, err := KeyFor(sim.Config{WorkloadSpec: mustParse(t, specKeyYAML)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KeyFor(sim.Config{WorkloadSpec: mustParse(t, specKeyJSON)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equivalent spec spellings hash differently: %s vs %s", a, b)
+	}
+}
+
+func TestSpecKeySensitivity(t *testing.T) {
+	base, err := KeyFor(sim.Config{WorkloadSpec: mustParse(t, specKeyYAML)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := mustParse(t, specKeyYAML)
+	changed.Clients[1].WriteFraction = 0.25
+	k, err := KeyFor(sim.Config{WorkloadSpec: changed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == base {
+		t.Error("changing a client's write fraction did not change the key")
+	}
+}
+
+// TestSpecKeyDistinctFromBenchmark guards the collision that would
+// poison the cache: a spec named like a benchmark label must never
+// share an address with a plain named-benchmark run, even though
+// fillDefaults copies the spec name into Benchmark.
+func TestSpecKeyDistinctFromBenchmark(t *testing.T) {
+	sp := mustParse(t, specKeyYAML)
+	specKey, err := KeyFor(sim.Config{WorkloadSpec: sp, Benchmark: sp.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benchKey, err := KeyFor(sim.Config{Benchmark: sp.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specKey == benchKey {
+		t.Error("spec-driven run shares an address with a named-benchmark run")
+	}
+}
+
+func TestSpecKeyRejectsInvalidSpec(t *testing.T) {
+	sp := mustParse(t, specKeyYAML)
+	sp.Clients[0].RateFraction = 2
+	if _, err := KeyFor(sim.Config{WorkloadSpec: sp}); err == nil {
+		t.Error("KeyFor accepted an invalid spec")
+	}
+}
+
+func TestKeyRejectsTracePath(t *testing.T) {
+	_, err := KeyFor(sim.Config{TracePath: "/tmp/x.mtrc"})
+	if err == nil || !strings.Contains(err.Error(), "machine-local") {
+		t.Errorf("KeyFor(TracePath) err = %v, want machine-local rejection", err)
+	}
+}

@@ -469,9 +469,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "run jobs take config.benchmark, not benchmarks")
 			return
 		}
-		if _, err := workload.New(cfg.Benchmark); err != nil {
-			writeError(w, http.StatusBadRequest, "bad config: %v", err)
-			return
+		if cfg.WorkloadSpec == nil {
+			// Spec-driven runs validate through PointKeyFor below (the
+			// spec's name is not a registry entry by design).
+			if _, err := workload.New(cfg.Benchmark); err != nil {
+				writeError(w, http.StatusBadRequest, "bad config: %v", err)
+				return
+			}
 		}
 		pol, part, err := req.Config.pointNames()
 		if err != nil {
@@ -485,6 +489,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		fn = s.runFn(cfg, pol, part, key, prog)
 	case TypeSuite:
+		if req.Config.Workload != nil {
+			// A suite varies the benchmark; a base workload spec would
+			// silently override every entry.
+			writeError(w, http.StatusBadRequest, "suite jobs cannot set config.workload")
+			return
+		}
 		if req.Config.Meta != nil && (req.Config.Meta.Policy != "" || req.Config.Meta.Partition != "") {
 			// Suites share one config across the fan-out; stateful
 			// policy instances must not be shared, so suites always

@@ -16,6 +16,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/journal"
 	"github.com/maps-sim/mapsim/internal/results"
 	"github.com/maps-sim/mapsim/internal/sweep"
+	wspec "github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // maxSweepPoints caps one sweep's grid. A spec that expands past it is
@@ -60,6 +61,9 @@ type SweepAxes struct {
 	Policies      []string     `json:"policies,omitempty"`
 	Partitions    []string     `json:"partitions,omitempty"`
 	PartialWrites []bool       `json:"partial_writes,omitempty"`
+	// WorkloadSpecs extends the workload axis with declarative
+	// multi-client specs, swept alongside (or instead of) Benchmarks.
+	WorkloadSpecs []*wspec.Spec `json:"workload_specs,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps.
@@ -97,6 +101,7 @@ func (r SweepRequest) toSpec() (sweep.Spec, error) {
 			Policies:      r.Axes.Policies,
 			Partitions:    r.Axes.Partitions,
 			PartialWrites: r.Axes.PartialWrites,
+			WorkloadSpecs: r.Axes.WorkloadSpecs,
 		},
 	}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/metacache"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/sweep"
+	wspec "github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // Job types accepted by POST /v1/jobs.
@@ -94,7 +95,12 @@ type HierarchySpec struct {
 // secure-memory service that silently simulated insecure baselines
 // would be a trap.
 type ConfigSpec struct {
-	Benchmark         string         `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	// Workload, when set, is a declarative multi-client workload spec
+	// replacing the named benchmark; Benchmark may be empty or must
+	// equal the spec's name. Specs are pure data, so spec-driven jobs
+	// canonicalize and dedupe exactly like named-benchmark jobs.
+	Workload          *wspec.Spec    `json:"workload,omitempty"`
 	Instructions      uint64         `json:"instructions,omitempty"`
 	Warmup            uint64         `json:"warmup,omitempty"`
 	Seed              int64          `json:"seed,omitempty"`
@@ -111,6 +117,7 @@ type ConfigSpec struct {
 func (c ConfigSpec) ToSim() (sim.Config, error) {
 	cfg := sim.Config{
 		Benchmark:         c.Benchmark,
+		WorkloadSpec:      c.Workload,
 		Instructions:      c.Instructions,
 		Warmup:            c.Warmup,
 		Seed:              c.Seed,
@@ -195,6 +202,8 @@ func SpecFromSim(cfg sim.Config, policy, partition string) (ConfigSpec, error) {
 	switch {
 	case cfg.Workload != nil:
 		return ConfigSpec{}, errors.New("config with a caller-supplied Workload is not wire-expressible")
+	case cfg.TracePath != "":
+		return ConfigSpec{}, errors.New("config with a TracePath is not wire-expressible (trace files are machine-local)")
 	case cfg.Tap != nil:
 		return ConfigSpec{}, errors.New("config with a Tap is not wire-expressible")
 	case cfg.DRAM != (dram.Config{}):
@@ -205,6 +214,7 @@ func SpecFromSim(cfg sim.Config, policy, partition string) (ConfigSpec, error) {
 	secure := cfg.Secure
 	spec := ConfigSpec{
 		Benchmark:         cfg.Benchmark,
+		Workload:          cfg.WorkloadSpec,
 		Instructions:      cfg.Instructions,
 		Warmup:            cfg.Warmup,
 		Seed:              cfg.Seed,

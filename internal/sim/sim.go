@@ -26,6 +26,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/secmem/engine"
 	"github.com/maps-sim/mapsim/internal/trace"
 	"github.com/maps-sim/mapsim/internal/workload"
+	"github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // Config describes one simulation.
@@ -34,6 +35,20 @@ type Config struct {
 	// with a caller-supplied generator.
 	Benchmark string
 	Workload  workload.Generator
+
+	// WorkloadSpec selects a declarative multi-client workload
+	// (internal/workload/spec) instead of a named benchmark. Benchmark
+	// may be left empty (it is filled from the spec's name) or must
+	// match it. Unlike Workload, a spec is pure data: spec-driven
+	// configs canonicalize, hash, and dedupe through the result cache
+	// like named-benchmark runs.
+	WorkloadSpec *spec.Spec
+
+	// TracePath replays a recorded streaming trace (see `mapstrace
+	// record-workload`) as the workload. The file is machine-local
+	// state, so trace-driven configs have no canonical form and never
+	// enter the result cache.
+	TracePath string
 
 	// Instructions is the measured instruction count (default 2M).
 	Instructions uint64
@@ -102,14 +117,37 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Workload == nil {
-		if c.Benchmark == "" {
-			return fmt.Errorf("sim: either Benchmark or Workload is required")
+		switch {
+		case c.WorkloadSpec != nil:
+			if c.TracePath != "" {
+				return fmt.Errorf("sim: WorkloadSpec and TracePath are mutually exclusive")
+			}
+			if c.Benchmark != "" && c.Benchmark != c.WorkloadSpec.Name {
+				return fmt.Errorf("sim: Benchmark %q conflicts with WorkloadSpec name %q", c.Benchmark, c.WorkloadSpec.Name)
+			}
+			g, err := c.WorkloadSpec.Generator()
+			if err != nil {
+				return err
+			}
+			c.Workload = g
+		case c.TracePath != "":
+			if c.Benchmark != "" {
+				return fmt.Errorf("sim: Benchmark and TracePath are mutually exclusive")
+			}
+			g, err := workload.NewTraceReplay(c.TracePath)
+			if err != nil {
+				return err
+			}
+			c.Workload = g
+		case c.Benchmark != "":
+			g, err := workload.New(c.Benchmark)
+			if err != nil {
+				return err
+			}
+			c.Workload = g
+		default:
+			return fmt.Errorf("sim: one of Benchmark, WorkloadSpec, TracePath, or Workload is required")
 		}
-		g, err := workload.New(c.Benchmark)
-		if err != nil {
-			return err
-		}
-		c.Workload = g
 	}
 	c.fillDefaults()
 	return nil
@@ -126,14 +164,26 @@ func (c Config) Canonical() (Config, error) {
 	switch {
 	case c.Workload != nil:
 		return c, fmt.Errorf("sim: config with a caller-supplied Workload is not canonicalizable")
+	case c.TracePath != "":
+		return c, fmt.Errorf("sim: config with a TracePath is not canonicalizable (trace files are machine-local)")
 	case c.Tap != nil:
 		return c, fmt.Errorf("sim: config with a Tap is not canonicalizable")
 	case c.Progress != nil:
 		return c, fmt.Errorf("sim: config with a Progress is not canonicalizable")
 	case c.Meta != nil && (c.Meta.Policy != nil || c.Meta.Partition != nil):
 		return c, fmt.Errorf("sim: config with a stateful Meta.Policy or Meta.Partition is not canonicalizable")
-	case c.Benchmark == "":
+	case c.Benchmark == "" && c.WorkloadSpec == nil:
 		return c, fmt.Errorf("sim: Benchmark is required")
+	}
+	if c.WorkloadSpec != nil {
+		if err := c.WorkloadSpec.Validate(); err != nil {
+			return c, err
+		}
+		if c.Benchmark != "" && c.Benchmark != c.WorkloadSpec.Name {
+			return c, fmt.Errorf("sim: Benchmark %q conflicts with WorkloadSpec name %q", c.Benchmark, c.WorkloadSpec.Name)
+		}
+		// Normalize the spec so equivalent spellings hash identically.
+		c.WorkloadSpec = c.WorkloadSpec.Canonicalize()
 	}
 	if c.Meta != nil {
 		metaCopy := *c.Meta
@@ -163,6 +213,9 @@ func (c Config) Canonical() (Config, error) {
 func (c *Config) fillDefaults() {
 	if c.Benchmark == "" && c.Workload != nil {
 		c.Benchmark = c.Workload.Name()
+	}
+	if c.Benchmark == "" && c.WorkloadSpec != nil {
+		c.Benchmark = c.WorkloadSpec.Name
 	}
 	if c.Instructions == 0 {
 		c.Instructions = 2_000_000

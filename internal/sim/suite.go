@@ -49,6 +49,11 @@ func RunSuiteContext(ctx context.Context, base Config, benchmarks []string, para
 	if len(benchmarks) == 0 {
 		benchmarks = workload.Names()
 	}
+	if base.WorkloadSpec != nil || base.TracePath != "" {
+		// A suite varies Benchmark across the registry; a base that pins
+		// the workload another way would silently override every entry.
+		return nil, fmt.Errorf("sim: suite base must not set WorkloadSpec or TracePath")
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}

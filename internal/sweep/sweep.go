@@ -29,6 +29,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/partition"
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/workload"
+	"github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // IntAxis selects integer axis points (byte sizes) either explicitly
@@ -103,6 +104,11 @@ type Axes struct {
 	Partitions []string `json:"partitions,omitempty"`
 	// PartialWrites sweeps the partial-write optimization on/off.
 	PartialWrites []bool `json:"partial_writes,omitempty"`
+	// WorkloadSpecs extends the workload axis with declarative
+	// multi-client specs (internal/workload/spec), swept after the
+	// named Benchmarks on the same (outermost) axis. Each spec's name
+	// labels its points exactly as a benchmark name would.
+	WorkloadSpecs []*spec.Spec `json:"workload_specs,omitempty"`
 }
 
 // Spec is one declarative sweep: a shared base configuration plus the
@@ -330,14 +336,20 @@ func (s Spec) Expand() ([]Point, error) {
 	switch {
 	case base.Workload != nil:
 		return nil, fmt.Errorf("sweep: base config must name a Benchmark, not carry a Workload")
+	case base.WorkloadSpec != nil:
+		return nil, fmt.Errorf("sweep: sweep workload specs via Axes.WorkloadSpecs, not Base")
+	case base.TracePath != "":
+		return nil, fmt.Errorf("sweep: base config must not set a TracePath (trace files are machine-local)")
 	case base.Tap != nil || base.Progress != nil:
 		return nil, fmt.Errorf("sweep: base config must not carry a Tap or Progress")
 	case base.Meta != nil && (base.Meta.Policy != nil || base.Meta.Partition != nil):
 		return nil, fmt.Errorf("sweep: sweep policies and partitions by name (Axes), not by instance")
 	}
 
+	// The workload axis: named benchmarks first, then spec-driven
+	// entries, all on one outermost dimension.
 	benches := s.Axes.Benchmarks
-	if len(benches) == 0 {
+	if len(benches) == 0 && len(s.Axes.WorkloadSpecs) == 0 {
 		if base.Benchmark == "" {
 			return nil, fmt.Errorf("sweep: no benchmark axis and no base benchmark")
 		}
@@ -347,6 +359,32 @@ func (s Spec) Expand() ([]Point, error) {
 		if _, err := workload.New(b); err != nil {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
+	}
+	type workloadEntry struct {
+		bench string
+		ws    *spec.Spec
+	}
+	entries := make([]workloadEntry, 0, len(benches)+len(s.Axes.WorkloadSpecs))
+	seen := make(map[string]bool, cap(entries))
+	for _, b := range benches {
+		if seen[b] {
+			return nil, fmt.Errorf("sweep: duplicate workload %q on the benchmark axis", b)
+		}
+		seen[b] = true
+		entries = append(entries, workloadEntry{bench: b})
+	}
+	for _, ws := range s.Axes.WorkloadSpecs {
+		if ws == nil {
+			return nil, fmt.Errorf("sweep: nil workload spec on the workload axis")
+		}
+		if err := ws.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		if seen[ws.Name] {
+			return nil, fmt.Errorf("sweep: duplicate workload %q on the benchmark axis", ws.Name)
+		}
+		seen[ws.Name] = true
+		entries = append(entries, workloadEntry{bench: ws.Name, ws: ws.Canonicalize()})
 	}
 
 	llcs, err := s.Axes.LLC.expand()
@@ -413,7 +451,7 @@ func (s Spec) Expand() ([]Point, error) {
 	partialPts := orDefault(s.Axes.PartialWrites, base.Meta != nil && base.Meta.PartialWrites)
 
 	var points []Point
-	for _, bench := range benches {
+	for _, entry := range entries {
 		for _, secure := range secures {
 			for _, llc := range llcPts {
 				for _, meta := range metaPts {
@@ -421,7 +459,7 @@ func (s Spec) Expand() ([]Point, error) {
 						for _, pol := range policyPts {
 							for _, part := range partitionPts {
 								for _, partial := range partialPts {
-									p, err := s.materialize(bench, secure, llc, meta, content, pol, part, partial)
+									p, err := s.materialize(entry.bench, entry.ws, secure, llc, meta, content, pol, part, partial)
 									if err != nil {
 										return nil, err
 									}
@@ -440,9 +478,10 @@ func (s Spec) Expand() ([]Point, error) {
 
 // materialize builds one point's coordinates and simulation config
 // from the base plus axis values.
-func (s Spec) materialize(bench string, secure bool, llc, meta int, content, pol, part string, partial bool) (Point, error) {
+func (s Spec) materialize(bench string, ws *spec.Spec, secure bool, llc, meta int, content, pol, part string, partial bool) (Point, error) {
 	cfg := s.Base
 	cfg.Benchmark = bench
+	cfg.WorkloadSpec = ws
 	cfg.Secure = secure
 	if llc > 0 {
 		if cfg.Hierarchy == (hierarchy.Config{}) {

@@ -1,0 +1,482 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// --- ReadFrom truncation/count regression tests (the two bugfixes) ---
+
+// Every cut point inside the record payload — record boundaries and
+// mid-record alike — must surface as io.ErrUnexpectedEOF with record
+// context, never as a bare io.EOF a caller could mistake for a clean
+// end. The old decoder returned binary.Read's error verbatim, which
+// is bare io.EOF exactly at record boundaries.
+func TestReadFromTruncationTable(t *testing.T) {
+	orig := randomTrace(5, 11)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	const header = 4 + 8 // magic + count
+	const recBytes = 10  // addr + flags + cost
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"mid count", 4 + 3},
+		{"before first record", header},
+		{"after addr", header + 8},
+		{"after flags", header + 9},
+		{"record boundary", header + recBytes},
+		{"mid third record", header + 2*recBytes + 5},
+		{"before last record", header + 4*recBytes},
+		{"one byte short", len(raw) - 1},
+	}
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			var got Trace
+			_, err := got.ReadFrom(bytes.NewReader(raw[:c.n]))
+			if err == nil {
+				t.Fatal("truncated trace accepted")
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("bare io.EOF for a truncated stream: %v", err)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+			}
+			if c.n >= header {
+				rec := (c.n - header) / recBytes
+				if want := fmt.Sprintf("%d of %d", rec, orig.Len()); !strings.Contains(err.Error(), want) {
+					t.Fatalf("err %q does not carry record position %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// A header declaring more records than the payload holds must be an
+// explicit error: the old decoder silently returned the short prefix,
+// letting a corrupt count masquerade as a short trace.
+func TestReadFromCountLargerThanPayload(t *testing.T) {
+	orig := randomTrace(3, 5)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Forge the count up to 10; the payload still holds 3 records.
+	raw[4] = 10
+	var got Trace
+	_, err := got.ReadFrom(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("corrupt count accepted; decoded %d records", got.Len())
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "3 of 10") {
+		t.Fatalf("err %q does not report decoded-vs-declared counts", err)
+	}
+}
+
+// --- streaming format ---
+
+func randomRecords(n int, seed uint64) []Record {
+	s := seed
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	recs := make([]Record, n)
+	for i := range recs {
+		v := next()
+		recs[i] = Record{
+			Addr:  (v % (1 << 20)) * 64,
+			Write: v&(1<<40) != 0,
+			Class: uint8(v>>41) % 6,
+			Cost:  uint8(v>>50)%5 + 1,
+			Gap:   uint32(v>>32)%16 + 1,
+		}
+	}
+	return recs
+}
+
+func writeStream(t *testing.T, recs []Record, h StreamHeader, gz bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h, gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	return buf.Bytes()
+}
+
+func drainStream(t *testing.T, data []byte) (StreamHeader, []Record) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	var rec Record
+	for {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			return r.Header(), recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	hdr := StreamHeader{Name: "canneal", Footprint: 64 << 20}
+	for _, gz := range []bool{false, true} {
+		for _, n := range []int{0, 1, chunkRecords - 1, chunkRecords, chunkRecords + 1, 3*chunkRecords + 17} {
+			t.Run(fmt.Sprintf("gz=%v/n=%d", gz, n), func(t *testing.T) {
+				want := randomRecords(n, uint64(n)+1)
+				data := writeStream(t, want, hdr, gz)
+				got, recs := drainStream(t, data)
+				if got != hdr {
+					t.Fatalf("header %+v, want %+v", got, hdr)
+				}
+				if len(recs) != len(want) {
+					t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+				}
+				for i := range want {
+					if recs[i] != want[i] {
+						t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// A stream cut anywhere before its end marker must read back as
+// truncation (wrapped io.ErrUnexpectedEOF), never a clean io.EOF:
+// the zero-count marker is the only legitimate end.
+func TestStreamTruncation(t *testing.T) {
+	recs := randomRecords(100, 3)
+	data := writeStream(t, recs, StreamHeader{Name: "w", Footprint: 4096}, false)
+	headerLen := 4 + 1 + 2 + 1 + 8
+	for _, cut := range []int{
+		headerLen,                         // before the first chunk header
+		headerLen + 2,                     // mid chunk header
+		headerLen + 4 + 30*recordSize,     // record boundary
+		headerLen + 4 + 30*recordSize + 7, // mid-record
+		len(data) - 2,                     // inside the end marker
+	} {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		var rec Record
+		var last error
+		for last == nil {
+			last = r.Next(&rec)
+		}
+		if !errors.Is(last, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, last)
+		}
+		// The error state must be sticky-done, not resurrect records.
+		if err := r.Next(&rec); err == nil {
+			t.Fatalf("cut %d: Next succeeded after truncation error", cut)
+		}
+	}
+}
+
+func TestStreamTruncatedHeader(t *testing.T) {
+	data := writeStream(t, nil, StreamHeader{Name: "abc", Footprint: 8192}, false)
+	for cut := 1; cut < 4+1+2+3+8; cut++ {
+		if _, err := NewReader(bytes.NewReader(data[:cut])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty input: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// The reader accepts the in-memory format, streaming its records with
+// Gap pinned to 1 — and applies the same truncation discipline.
+func TestStreamReadsLegacyFormat(t *testing.T) {
+	orig := randomTrace(2500, 9)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr, recs := drainStream(t, buf.Bytes())
+	if hdr != (StreamHeader{}) {
+		t.Fatalf("legacy header %+v, want zero", hdr)
+	}
+	if len(recs) != orig.Len() {
+		t.Fatalf("decoded %d records, want %d", len(recs), orig.Len())
+	}
+	for i, a := range orig.Accesses {
+		want := Record{Addr: a.Addr, Write: a.Write, Class: a.Class, Cost: a.Cost, Gap: 1}
+		if recs[i] != want {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want)
+		}
+	}
+
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	var last error
+	for last == nil {
+		last = r.Next(&rec)
+	}
+	if !errors.Is(last, io.ErrUnexpectedEOF) {
+		t.Fatalf("legacy truncation err = %v, want io.ErrUnexpectedEOF", last)
+	}
+}
+
+func TestReadStream(t *testing.T) {
+	recs := randomRecords(500, 21)
+	data := writeStream(t, recs, StreamHeader{Name: "x", Footprint: 4096}, true)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadStream(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(recs) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(recs))
+	}
+	for i, a := range tr.Accesses {
+		want := Access{Addr: recs[i].Addr, Write: recs[i].Write, Class: recs[i].Class, Cost: recs[i].Cost}
+		if a != want {
+			t.Fatalf("access %d = %+v, want %+v", i, a, want)
+		}
+	}
+}
+
+func TestWriterRejectsWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, StreamHeader{Name: "w", Footprint: 4096}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err == nil {
+		t.Fatal("Write after Close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// --- O(chunk) memory: the acceptance criterion for constant-memory
+// replay. Steady-state iteration allocates nothing per record, and a
+// stream far larger than any plausible chunk budget reads under a
+// fixed heap bound. ---
+
+func TestStreamNextIsAllocationFree(t *testing.T) {
+	recs := randomRecords(4*chunkRecords, 5)
+	data := writeStream(t, recs, StreamHeader{Name: "w", Footprint: 4096}, false)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := r.Next(&rec); err != nil { // warm up past any lazy init
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2*chunkRecords, func() {
+		if err := r.Next(&rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Next allocates %.1f objects per record, want 0", allocs)
+	}
+}
+
+// A synthesized stream of 30M records (~420 MB encoded) flows through
+// writer and reader via an in-process pipe while total heap stays
+// bounded: proof the path is O(chunk), independent of trace length.
+func TestStreamConstantMemoryLargeTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-stream memory test skipped in -short mode")
+	}
+	const n = 30_000_000
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		w, err := NewWriter(pw, StreamHeader{Name: "big", Footprint: 1 << 30}, false)
+		if err != nil {
+			errc <- err
+			pw.CloseWithError(err)
+			return
+		}
+		var rec Record
+		for i := 0; i < n; i++ {
+			rec.Addr = uint64(i%(1<<24)) * 64
+			rec.Write = i%3 == 0
+			rec.Gap = uint32(i%7) + 1
+			if err := w.Write(rec); err != nil {
+				errc <- err
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		err = w.Close()
+		errc <- err
+		pw.CloseWithError(err)
+	}()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	r, err := NewReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	var count uint64
+	for {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("decoded %d records, want %d", count, n)
+	}
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	// Heap growth across a 420 MB stream must stay in single-digit
+	// megabytes: both ends together hold only chunk-sized buffers.
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 16<<20 {
+		t.Fatalf("heap grew %d bytes across a %d-record stream; replay is not O(chunk)", grew, n)
+	}
+}
+
+// FuzzReadStream ensures arbitrary bytes never panic the streaming
+// decoder and that anything it accepts round-trips bit-identically
+// through the writer.
+func FuzzReadStream(f *testing.F) {
+	recs := randomRecords(10, 1)
+	var plain, gz bytes.Buffer
+	for dst, compress := range map[*bytes.Buffer]bool{&plain: false, &gz: true} {
+		w, err := NewWriter(dst, StreamHeader{Name: "seed", Footprint: 8192}, compress)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(plain.Bytes())
+	f.Add(gz.Bytes())
+	var legacy bytes.Buffer
+	if _, err := randomTrace(5, 2).WriteTo(&legacy); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MTS1garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		var got []Record
+		var rec Record
+		for {
+			err := r.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // rejected payload: fine
+			}
+			got = append(got, rec)
+			if len(got) > 1<<20 {
+				return // cap fuzz memory; long valid streams are covered elsewhere
+			}
+		}
+		// Accepted: re-encode and re-decode must reproduce the records.
+		var out bytes.Buffer
+		w, err := NewWriter(&out, r.Header(), false)
+		if err != nil {
+			t.Fatalf("re-encode header: %v", err)
+		}
+		for _, rc := range got {
+			if err := w.Write(rc); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("re-encode close: %v", err)
+		}
+		r2, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode header: %v", err)
+		}
+		var i int
+		for {
+			err := r2.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-decode record %d: %v", i, err)
+			}
+			if i >= len(got) || rec != got[i] {
+				t.Fatalf("record %d changed across re-encode", i)
+			}
+			i++
+		}
+		if i != len(got) {
+			t.Fatalf("re-decode yielded %d records, want %d", i, len(got))
+		}
+	})
+}

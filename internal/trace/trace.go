@@ -119,7 +119,9 @@ func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
 	}
 	var count uint64
 	if err := read(&count); err != nil {
-		return n, err
+		// The magic decoded, so this is a trace header cut short — not
+		// a clean end of anything.
+		return n, fmt.Errorf("trace: truncated header: %w", noEOF(err))
 	}
 	// Never trust the declared count for allocation: a corrupt or
 	// malicious header could demand terabytes. Pre-size within reason
@@ -133,17 +135,36 @@ func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
 		var a Access
 		var flags uint8
 		if err := read(&a.Addr); err != nil {
-			return n, err
+			return n, recordErr(err, i, count)
 		}
 		if err := read(&flags); err != nil {
-			return n, err
+			return n, recordErr(err, i, count)
 		}
 		if err := read(&a.Cost); err != nil {
-			return n, err
+			return n, recordErr(err, i, count)
 		}
 		a.Write = flags&1 != 0
 		a.Class = flags >> 1
 		t.Accesses = append(t.Accesses, a)
 	}
 	return n, nil
+}
+
+// recordErr maps a failure while decoding record i of a declared count
+// to an explicit error. The header promised count records, so running
+// out of bytes here — whether at a record boundary (binary.Read's bare
+// io.EOF) or mid-record — is a truncated stream or a corrupt count,
+// never a clean end; callers must not mistake it for one, and must not
+// silently keep a short prefix.
+func recordErr(err error, i, count uint64) error {
+	return fmt.Errorf("trace: truncated: %d of %d declared records decoded: %w", i, count, noEOF(err))
+}
+
+// noEOF upgrades a clean-looking io.EOF to io.ErrUnexpectedEOF so that
+// errors.Is reports truncation, not end-of-stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

@@ -37,6 +37,14 @@ func (g *treewalk) Clone() Generator { c := *g; return &c }
 // Clone implements Cloner.
 func (g *mixed) Clone() Generator { c := *g; return &c }
 
+// Clone implements Cloner. The synthetic generator is the same kind
+// of plain value struct as the builtins (SyntheticConfig holds only
+// scalars), so a shallow copy snapshots it completely. Without this,
+// user-configured synthetics — and every spec-driven multi-client
+// workload composed from them — silently fell back to the sequential
+// path under Config.Shards.
+func (g *synthetic) Clone() Generator { c := *g; return &c }
+
 // Interface checks: every registered benchmark generator supports
 // epoch-boundary snapshotting.
 var (
@@ -46,4 +54,5 @@ var (
 	_ Cloner = (*stencil)(nil)
 	_ Cloner = (*treewalk)(nil)
 	_ Cloner = (*mixed)(nil)
+	_ Cloner = (*synthetic)(nil)
 )

@@ -1,0 +1,40 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWorkloadSpec ensures arbitrary documents never panic the
+// YAML/JSON decoder, and that anything accepted is stable: its
+// canonical form re-parses to the same canonical form (the property
+// the content-addressed cache hash depends on).
+func FuzzDecodeWorkloadSpec(f *testing.F) {
+	f.Add([]byte(sampleYAML))
+	f.Add([]byte(sampleJSON))
+	f.Add([]byte("name: tiny\nclients:\n  - name: a\n    rate_fraction: 1\n    footprint: 4KB\n"))
+	f.Add([]byte("key:\n  - 1\n  - 2\n"))
+	f.Add([]byte("a: b # comment\n'q': \"v\"\n"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		canon := s.CanonicalJSON()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if !bytes.Equal(canon, again.CanonicalJSON()) {
+			t.Fatalf("canonical form not a fixed point:\n%s\n%s", canon, again.CanonicalJSON())
+		}
+		// An accepted spec must always build a generator.
+		if _, err := s.Generator(); err != nil {
+			t.Fatalf("validated spec failed to build: %v", err)
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package spec turns declarative workload specifications — YAML or
+// JSON documents composing named clients with rate fractions, arrival
+// processes, and per-client footprint/locality/write-ratio knobs —
+// into deterministic, seedable workload generators. One spec is one
+// scenario: the simulator sees a single interleaved access stream,
+// merged across clients by arrival time, that replays bit-identically
+// for a given seed on every machine in a fleet. The canonical JSON
+// form feeds the content-addressed result cache, so spec-driven runs
+// dedupe exactly like named-benchmark runs.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/maps-sim/mapsim/internal/cliutil"
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+// Process names for Arrival.Process.
+const (
+	// ProcessPoisson spaces a client's accesses with exponential
+	// inter-arrival gaps (memoryless; CV fixed at 1).
+	ProcessPoisson = "poisson"
+	// ProcessGamma spaces accesses with gamma-distributed gaps whose
+	// burstiness is set by Arrival.CV: CV > 1 clumps accesses into
+	// bursts, CV < 1 regularizes them.
+	ProcessGamma = "gamma"
+	// ProcessFixed spaces accesses with a constant gap.
+	ProcessFixed = "fixed"
+)
+
+// pageSize is the client footprint granularity, matching the
+// simulator's memory-layout page size.
+const pageSize = 4096
+
+// maxTotalFootprint caps the summed client footprints; far above any
+// built-in benchmark (128 MB) but low enough that a typo'd spec can't
+// demand a terabyte of simulated layout.
+const maxTotalFootprint = 1 << 30
+
+// fracTol is the tolerance on the rate-fraction sum: wide enough for
+// decimal thirds written to a few places, tight enough to catch a
+// forgotten client.
+const fracTol = 1e-6
+
+// Bytes is a byte count that decodes from either a JSON/YAML number
+// or a human-readable size string ("64KB", "2MB").
+type Bytes uint64
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bytes) UnmarshalJSON(data []byte) error {
+	data = bytes.TrimSpace(data)
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		n, err := cliutil.ParseSize(s)
+		if err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		*b = Bytes(n)
+		return nil
+	}
+	var n float64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("spec: bad byte count %s", data)
+	}
+	if n < 0 || n != math.Trunc(n) || n > math.MaxInt64 {
+		return fmt.Errorf("spec: byte count %s must be a non-negative integer", data)
+	}
+	*b = Bytes(n)
+	return nil
+}
+
+// Arrival selects how a client's accesses are spaced in simulated
+// instruction time.
+type Arrival struct {
+	// Process is poisson (default), gamma, or fixed.
+	Process string `json:"process,omitempty"`
+	// CV is the coefficient of variation of the inter-arrival gap,
+	// meaningful (and required) only for the gamma process. CV > 1
+	// is burstier than poisson, CV < 1 smoother.
+	CV float64 `json:"cv,omitempty"`
+}
+
+// Client is one workload stream inside a spec: a synthetic access
+// pattern plus the share of the aggregate access rate it receives.
+// Clients occupy disjoint address regions, stacked in declaration
+// order.
+type Client struct {
+	// Name labels the client; unique within the spec.
+	Name string `json:"name"`
+	// RateFraction is this client's share of the aggregate access
+	// rate; all clients' fractions must sum to 1.
+	RateFraction float64 `json:"rate_fraction"`
+	// Arrival spaces the client's accesses in instruction time.
+	Arrival Arrival `json:"arrival,omitempty"`
+	// Footprint is the client's touched address extent: a positive
+	// multiple of 4 KB, as a number or size string.
+	Footprint Bytes `json:"footprint"`
+	// WriteFraction is the client's store ratio in [0, 1].
+	WriteFraction float64 `json:"write_fraction,omitempty"`
+	// HotBytes, when nonzero, carves a hot region at the bottom of
+	// the client's footprint receiving HotFraction of its run starts.
+	HotBytes Bytes `json:"hot_bytes,omitempty"`
+	// HotFraction is the share of run starts landing in the hot
+	// region.
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// SequentialRun is the mean sequential 8 B words touched per run
+	// before the next jump (default 1 = pure pointer chasing).
+	SequentialRun int `json:"sequential_run,omitempty"`
+	// Stream replaces random jumps with a sequential sweep.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Spec is a declarative multi-client workload. Decode one with Parse,
+// then build its generator with Generator.
+type Spec struct {
+	// Version is the schema version; 0 (unset) and 1 are accepted.
+	Version int `json:"version,omitempty"`
+	// Name labels the composed workload in results, sweeps, and cache
+	// keys; it must not shadow a built-in benchmark.
+	Name string `json:"name"`
+	// MeanGap is the aggregate mean instruction distance between
+	// accesses across all clients (default 4, like the built-in
+	// benchmarks' default cadence).
+	MeanGap int `json:"mean_gap,omitempty"`
+	// Clients are the composed streams; at least one.
+	Clients []Client `json:"clients"`
+}
+
+// Parse decodes a workload spec from YAML or JSON (detected by a
+// leading '{') and validates it. The YAML dialect is the subset the
+// schema needs: nested maps, lists, scalars, quotes, and comments.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var payload []byte
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		payload = data
+	} else {
+		doc, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		payload, err = json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("spec: unsupported value in document: %v", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's shape: client set, rate fractions, and
+// per-client parameters. It is called by Parse; API callers that
+// build a Spec directly get the same errors from Generator.
+func (s *Spec) Validate() error {
+	if s.Version != 0 && s.Version != 1 {
+		return fmt.Errorf("spec: unsupported version %d (want 1)", s.Version)
+	}
+	if err := checkName("workload", s.Name); err != nil {
+		return err
+	}
+	if _, err := workload.New(s.Name); err == nil {
+		return fmt.Errorf("spec: name %q shadows a built-in benchmark", s.Name)
+	}
+	if s.MeanGap < 0 || s.MeanGap > 1_000_000 {
+		return fmt.Errorf("spec: mean_gap %d out of range [0, 1e6]", s.MeanGap)
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("spec: %q declares no clients; at least one is required", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Clients))
+	var sum float64
+	var total uint64
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		if err := checkName(fmt.Sprintf("client %d", i), c.Name); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("spec: duplicate client name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if err := c.validate(); err != nil {
+			return err
+		}
+		sum += c.RateFraction
+		total += uint64(c.Footprint)
+	}
+	if math.Abs(sum-1) > fracTol {
+		return fmt.Errorf("spec: client rate fractions sum to %v, want 1", sum)
+	}
+	if total > maxTotalFootprint {
+		return fmt.Errorf("spec: total footprint %d exceeds the %d-byte limit", total, uint64(maxTotalFootprint))
+	}
+	return nil
+}
+
+// validate checks one client's parameters.
+func (c *Client) validate() error {
+	if bad(c.RateFraction) || c.RateFraction <= 0 || c.RateFraction > 1 {
+		return fmt.Errorf("spec: client %q rate_fraction %v must be in (0, 1]", c.Name, c.RateFraction)
+	}
+	switch c.Arrival.Process {
+	case "", ProcessPoisson, ProcessFixed:
+		if c.Arrival.CV != 0 {
+			return fmt.Errorf("spec: client %q: cv applies only to the gamma process", c.Name)
+		}
+	case ProcessGamma:
+		if bad(c.Arrival.CV) || c.Arrival.CV <= 0 || c.Arrival.CV > 100 {
+			return fmt.Errorf("spec: client %q gamma cv %v must be in (0, 100]", c.Name, c.Arrival.CV)
+		}
+	default:
+		return fmt.Errorf("spec: client %q: unknown arrival process %q (want %s, %s, or %s)",
+			c.Name, c.Arrival.Process, ProcessPoisson, ProcessGamma, ProcessFixed)
+	}
+	if c.Footprint == 0 || c.Footprint%pageSize != 0 {
+		return fmt.Errorf("spec: client %q footprint %d must be a positive multiple of %d", c.Name, c.Footprint, pageSize)
+	}
+	if bad(c.WriteFraction) || c.WriteFraction < 0 || c.WriteFraction > 1 {
+		return fmt.Errorf("spec: client %q write_fraction %v out of [0, 1]", c.Name, c.WriteFraction)
+	}
+	if bad(c.HotFraction) || c.HotFraction < 0 || c.HotFraction > 1 {
+		return fmt.Errorf("spec: client %q hot_fraction %v out of [0, 1]", c.Name, c.HotFraction)
+	}
+	if c.HotBytes >= c.Footprint {
+		return fmt.Errorf("spec: client %q hot region %d must be smaller than its footprint %d", c.Name, c.HotBytes, c.Footprint)
+	}
+	if c.HotBytes > 0 && c.HotBytes%64 != 0 {
+		return fmt.Errorf("spec: client %q hot region %d must be block (64 B) aligned", c.Name, c.HotBytes)
+	}
+	if c.SequentialRun < 0 || c.SequentialRun > 1_000_000 {
+		return fmt.Errorf("spec: client %q sequential_run %d out of range [0, 1e6]", c.Name, c.SequentialRun)
+	}
+	return nil
+}
+
+// Canonicalize returns a copy with every default made explicit —
+// version, arrival process, mean gap, sequential run — so specs that
+// mean the same thing serialize to the same bytes.
+func (s *Spec) Canonicalize() *Spec {
+	c := *s
+	c.Version = 1
+	if c.MeanGap == 0 {
+		c.MeanGap = 4
+	}
+	c.Clients = make([]Client, len(s.Clients))
+	copy(c.Clients, s.Clients)
+	for i := range c.Clients {
+		cl := &c.Clients[i]
+		if cl.Arrival.Process == "" {
+			cl.Arrival.Process = ProcessPoisson
+		}
+		if cl.SequentialRun == 0 {
+			cl.SequentialRun = 1
+		}
+	}
+	return &c
+}
+
+// CanonicalJSON serializes the canonicalized spec with a fixed field
+// order; the content-addressed result cache hashes these bytes, so
+// equal scenarios share one cache entry however they were spelled. It
+// panics on a spec whose floats are not finite — Validate rejects
+// those first.
+func (s *Spec) CanonicalJSON() []byte {
+	b, err := json.Marshal(s.Canonicalize())
+	if err != nil {
+		panic(fmt.Sprintf("spec: canonical marshal of validated spec failed: %v", err))
+	}
+	return b
+}
+
+// bad reports a float that can't participate in validation arithmetic.
+func bad(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+
+// checkName enforces the shared label charset: nonempty, at most 64
+// runes of letters, digits, dots, dashes, underscores.
+func checkName(what, name string) error {
+	if name == "" {
+		return fmt.Errorf("spec: %s name is required", what)
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("spec: %s name %q longer than 64 bytes", what, name)
+	}
+	if strings.IndexFunc(name, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '.' || r == '-' || r == '_')
+	}) >= 0 {
+		return fmt.Errorf("spec: %s name %q may use only letters, digits, '.', '-', '_'", what, name)
+	}
+	return nil
+}

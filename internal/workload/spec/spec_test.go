@@ -1,0 +1,323 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/maps-sim/mapsim/internal/workload"
+)
+
+const sampleYAML = `
+# Two interactive tiers over a batch scanner.
+version: 1
+name: front-back
+mean_gap: 4
+clients:
+  - name: web
+    rate_fraction: 0.6
+    arrival:
+      process: poisson
+    footprint: 256KB
+    write_fraction: 0.1
+    hot_bytes: 16KB
+    hot_fraction: 0.9
+  - name: db
+    rate_fraction: 0.3
+    arrival:
+      process: gamma
+      cv: 2.0
+    footprint: 4MB
+    write_fraction: 0.4
+    sequential_run: 8
+  - name: scan
+    rate_fraction: 0.1
+    arrival:
+      process: fixed
+    footprint: 1MB
+    stream: true
+`
+
+const sampleJSON = `{
+  "version": 1,
+  "name": "front-back",
+  "mean_gap": 4,
+  "clients": [
+    {"name": "web", "rate_fraction": 0.6, "arrival": {"process": "poisson"},
+     "footprint": 262144, "write_fraction": 0.1, "hot_bytes": 16384, "hot_fraction": 0.9},
+    {"name": "db", "rate_fraction": 0.3, "arrival": {"process": "gamma", "cv": 2.0},
+     "footprint": "4MB", "write_fraction": 0.4, "sequential_run": 8},
+    {"name": "scan", "rate_fraction": 0.1, "arrival": {"process": "fixed"},
+     "footprint": "1MB", "stream": true}
+  ]
+}`
+
+func TestParseYAMLAndJSONAgree(t *testing.T) {
+	fromYAML, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	fromJSON, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if !bytes.Equal(fromYAML.CanonicalJSON(), fromJSON.CanonicalJSON()) {
+		t.Fatalf("same spec, different canonical forms:\n%s\n%s",
+			fromYAML.CanonicalJSON(), fromJSON.CanonicalJSON())
+	}
+	if fromYAML.Clients[0].Footprint != 256<<10 {
+		t.Errorf("footprint size string mis-parsed: %d", fromYAML.Clients[0].Footprint)
+	}
+	if fromYAML.Clients[1].Arrival.CV != 2.0 {
+		t.Errorf("cv = %v", fromYAML.Clients[1].Arrival.CV)
+	}
+}
+
+// Canonicalization makes every default explicit and is idempotent, so
+// differently-spelled equal specs share one cache hash.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Canonicalize()
+	if c.Clients[0].SequentialRun != 1 || c.Clients[0].Arrival.Process != ProcessPoisson {
+		t.Fatalf("defaults not explicit: %+v", c.Clients[0])
+	}
+	if !bytes.Equal(c.CanonicalJSON(), s.CanonicalJSON()) {
+		t.Fatal("canonicalize not idempotent")
+	}
+	// Mutating the canonical copy must not touch the original.
+	c.Clients[0].Name = "mutated"
+	if s.Clients[0].Name != "web" {
+		t.Fatal("Canonicalize aliases the receiver's clients")
+	}
+}
+
+// The spec-parsing edge-case table: every malformed shape gets a
+// clear, specific rejection.
+func TestParseRejections(t *testing.T) {
+	valid := func(mutate func(*Spec)) []byte {
+		s, err := Parse([]byte(sampleJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(s)
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		doc  []byte
+		want string // substring of the error
+	}{
+		{"empty document", []byte(""), "empty"},
+		{"zero clients", []byte("name: lonely\nclients: []\n"), "no clients"},
+		{"missing name", []byte("clients:\n  - name: a\n    rate_fraction: 1\n    footprint: 4KB\n"), "name is required"},
+		{"unknown top-level field", []byte("name: x\nburstiness: 3\nclients: []\n"), "unknown field"},
+		{"unknown client field", []byte("name: x\nclients:\n  - name: a\n    rate_fraction: 1\n    footprint: 4KB\n    sparkle: 1\n"), "unknown field"},
+		{"unknown arrival process", valid(func(s *Spec) { s.Clients[0].Arrival.Process = "pareto" }), "unknown arrival process"},
+		{"fractions sum low", valid(func(s *Spec) { s.Clients[0].RateFraction = 0.5 }), "sum to"},
+		{"fractions sum high", valid(func(s *Spec) { s.Clients[2].RateFraction = 0.3 }), "sum to"},
+		{"negative fraction", valid(func(s *Spec) { s.Clients[0].RateFraction = -0.6 }), "rate_fraction"},
+		{"zero fraction", valid(func(s *Spec) { s.Clients[0].RateFraction = 0 }), "rate_fraction"},
+		{"negative cv", valid(func(s *Spec) { s.Clients[1].Arrival.CV = -2 }), "cv"},
+		{"cv without gamma", valid(func(s *Spec) { s.Clients[0].Arrival.CV = 2 }), "cv applies only"},
+		{"negative write fraction", valid(func(s *Spec) { s.Clients[0].WriteFraction = -0.1 }), "write_fraction"},
+		{"write fraction above 1", valid(func(s *Spec) { s.Clients[0].WriteFraction = 1.5 }), "write_fraction"},
+		{"unaligned footprint", valid(func(s *Spec) { s.Clients[0].Footprint = 1000 }), "multiple of 4096"},
+		{"zero footprint", valid(func(s *Spec) { s.Clients[0].Footprint = 0 }), "multiple of 4096"},
+		{"hot exceeds footprint", valid(func(s *Spec) { s.Clients[0].HotBytes = s.Clients[0].Footprint }), "hot region"},
+		{"duplicate client names", valid(func(s *Spec) { s.Clients[1].Name = "web" }), "duplicate client"},
+		{"shadows builtin", valid(func(s *Spec) { s.Name = workload.Names()[0] }), "shadows a built-in"},
+		{"bad version", valid(func(s *Spec) { s.Version = 7 }), "version"},
+		{"negative sequential run", valid(func(s *Spec) { s.Clients[1].SequentialRun = -3 }), "sequential_run"},
+		{"negative footprint", []byte(`{"name":"x","clients":[{"name":"a","rate_fraction":1,"footprint":-4096}]}`), "non-negative"},
+		{"tab indentation", []byte("name: x\nclients:\n\t- name: a\n"), "tab"},
+		{"flow collection", []byte("name: x\nclients: [a, b]\n"), "unsupported YAML"},
+		{"bad yaml shape", []byte("name x\n"), "key: value"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.doc)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// Validate must reject non-finite parameters on directly-constructed
+// specs (JSON can't even spell NaN, but the API can).
+func TestValidateRejectsNaN(t *testing.T) {
+	base, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Spec){
+		func(s *Spec) { s.Clients[0].RateFraction = math.NaN() },
+		func(s *Spec) { s.Clients[0].WriteFraction = math.NaN() },
+		func(s *Spec) { s.Clients[0].HotFraction = math.Inf(1) },
+		func(s *Spec) { s.Clients[1].Arrival.CV = math.NaN() },
+	} {
+		s := *base
+		s.Clients = append([]Client(nil), base.Clients...)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("NaN/Inf parameter accepted: %+v", s.Clients)
+		}
+		if _, err := s.Generator(); err == nil {
+			t.Fatal("Generator built from NaN/Inf spec")
+		}
+	}
+}
+
+// The merged multi-client stream is a pure function of (spec, seed).
+func TestGeneratorDeterministic(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1.Reset(42)
+	g2.Reset(42)
+	var a, b workload.Access
+	for i := 0; i < 50_000; i++ {
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("access %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// Rate fractions set the long-run share of accesses each client
+// emits, whatever its arrival process; client regions are disjoint so
+// shares are observable from addresses.
+func TestGeneratorHonorsRateFractions(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(256<<10 + 4<<20 + 1<<20); g.Footprint() != want {
+		t.Fatalf("footprint = %d, want %d", g.Footprint(), want)
+	}
+	bounds := []uint64{256 << 10, 256<<10 + 4<<20, g.Footprint()}
+	counts := make([]int, 3)
+	const n = 300_000
+	var a workload.Access
+	var instrs uint64
+	for i := 0; i < n; i++ {
+		g.Next(&a)
+		instrs += uint64(a.Gap)
+		if a.Addr >= g.Footprint() {
+			t.Fatalf("access %d at %#x beyond footprint %#x", i, a.Addr, g.Footprint())
+		}
+		for c, hi := range bounds {
+			if a.Addr < hi {
+				counts[c]++
+				break
+			}
+		}
+	}
+	for c, frac := range []float64{0.6, 0.3, 0.1} {
+		got := float64(counts[c]) / n
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("client %d received %.3f of accesses, want %.2f", c, got, frac)
+		}
+	}
+	// Aggregate cadence: mean gap ≈ mean_gap.
+	if mean := float64(instrs) / n; mean < 3.2 || mean > 4.8 {
+		t.Errorf("aggregate mean gap %.2f, want ≈4", mean)
+	}
+}
+
+// Gamma burstiness must be visible: with CV >> 1 the inter-arrival
+// gaps of a client have a larger coefficient of variation than its
+// poisson twin.
+func TestGammaBurstier(t *testing.T) {
+	cv := func(process string, cvParam float64) float64 {
+		doc := `{"name":"one","clients":[{"name":"c","rate_fraction":1,"footprint":65536,
+		  "arrival":{"process":"` + process + `"` + func() string {
+			if cvParam > 0 {
+				return `,"cv":4`
+			}
+			return ""
+		}() + `}}]}`
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := s.Generator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Reset(3)
+		var a workload.Access
+		var sum, sumsq float64
+		const n = 100_000
+		for i := 0; i < n; i++ {
+			g.Next(&a)
+			x := float64(a.Gap)
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		return math.Sqrt(sumsq/n-mean*mean) / mean
+	}
+	poisson := cv(ProcessPoisson, 0)
+	gamma := cv(ProcessGamma, 4)
+	fixed := cv(ProcessFixed, 0)
+	if gamma < poisson*1.5 {
+		t.Errorf("gamma(cv=4) stream CV %.2f not burstier than poisson %.2f", gamma, poisson)
+	}
+	if fixed > poisson/2 {
+		t.Errorf("fixed stream CV %.2f not smoother than poisson %.2f", fixed, poisson)
+	}
+}
+
+func TestBytesUnmarshalForms(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Bytes
+		ok   bool
+	}{
+		{`65536`, 65536, true},
+		{`"64KB"`, 64 << 10, true},
+		{`"2MB"`, 2 << 20, true},
+		{`" 512B "`, 512, true},
+		{`-1`, 0, false},
+		{`1.5`, 0, false},
+		{`"garbage"`, 0, false},
+		{`true`, 0, false},
+	} {
+		var b Bytes
+		err := b.UnmarshalJSON([]byte(c.in))
+		if c.ok != (err == nil) {
+			t.Errorf("%s: err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && b != c.want {
+			t.Errorf("%s = %d, want %d", c.in, b, c.want)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The module carries zero dependencies, so specs get a hand-rolled
+// parser for the YAML subset the schema needs: nested block maps and
+// lists, inline list-item maps ("- name: web"), scalars (strings,
+// ints, floats, bools, null), single/double quotes, and '#' comments.
+// Flow collections beyond empty "[]"/"{}", anchors, tags, and
+// multi-line strings are out of scope and rejected with a line
+// number. The parse result is a plain any-tree that round-trips
+// through encoding/json into the Spec struct, so YAML and JSON
+// documents take one strict decoding path.
+
+// yline is one significant source line: indentation, content with
+// comments stripped, and the 1-based source line number for errors.
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// parseYAML decodes a YAML-subset document into maps, slices, and
+// scalars.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("spec: empty document")
+	}
+	p := &yparser{lines: lines}
+	v, err := p.parseNode(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("spec: line %d: unexpected content after document (check indentation)", p.lines[p.pos].num)
+	}
+	return v, nil
+}
+
+// splitLines strips comments and blanks and measures indentation,
+// rejecting tabs (as YAML does) so mixed indentation can't silently
+// change nesting.
+func splitLines(src string) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("spec: line %d: tab in indentation (use spaces)", num+1)
+		}
+		text := strings.TrimRight(stripComment(line[indent:]), " \t")
+		if text == "" || text == "---" {
+			continue
+		}
+		out = append(out, yline{indent: indent, text: text, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment that is outside quotes
+// and either starts the content or follows whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseNode parses the block starting at the current line, which sits
+// at the given indentation: a list if it opens with a dash, else a
+// map.
+func (p *yparser) parseNode(indent int) (any, error) {
+	line := p.lines[p.pos]
+	if line.text == "-" || strings.HasPrefix(line.text, "- ") {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// parseMap consumes "key: value" lines at one indentation level.
+func (p *yparser) parseMap(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		line := p.lines[p.pos]
+		if line.text == "-" || strings.HasPrefix(line.text, "- ") {
+			return nil, fmt.Errorf("spec: line %d: list item where a mapping key was expected", line.num)
+		}
+		key, rest, err := splitKey(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("spec: line %d: duplicate key %q", line.num, key)
+		}
+		p.pos++
+		if rest == "" {
+			v, err := p.parseChild(indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			v, err := scalar(rest, line.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		return nil, fmt.Errorf("spec: line %d: inconsistent indentation", p.lines[p.pos].num)
+	}
+	return m, nil
+}
+
+// parseList consumes "- item" lines at one indentation level.
+func (p *yparser) parseList(indent int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		line := p.lines[p.pos]
+		if line.text != "-" && !strings.HasPrefix(line.text, "- ") {
+			break
+		}
+		content := strings.TrimLeft(strings.TrimPrefix(line.text, "-"), " ")
+		p.pos++
+		switch {
+		case content == "":
+			v, err := p.parseChild(indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case looksLikeKey(content):
+			// Inline first mapping entry: "- name: web". Re-inject the
+			// content as a virtual line at its real column so the
+			// item's remaining keys (indented to that column) join the
+			// same map.
+			col := line.indent + (len(line.text) - len(content))
+			p.pos--
+			p.lines[p.pos] = yline{indent: col, text: content, num: line.num}
+			v, err := p.parseMap(col)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := scalar(content, line.num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		return nil, fmt.Errorf("spec: line %d: inconsistent indentation", p.lines[p.pos].num)
+	}
+	return out, nil
+}
+
+// parseChild parses the block nested under a "key:" or bare "-" line,
+// or yields null when nothing is nested.
+func (p *yparser) parseChild(indent int) (any, error) {
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		return p.parseNode(p.lines[p.pos].indent)
+	}
+	return nil, nil
+}
+
+// splitKey breaks "key: value" (or "key:") into its parts, allowing
+// quoted keys.
+func splitKey(line yline) (key, rest string, err error) {
+	s := line.text
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("spec: line %d: unterminated quoted key", line.num)
+		}
+		key = s[1 : 1+end]
+		s = strings.TrimLeft(s[2+end:], " ")
+		if !strings.HasPrefix(s, ":") {
+			return "", "", fmt.Errorf("spec: line %d: expected ':' after key", line.num)
+		}
+		return key, strings.TrimLeft(s[1:], " "), nil
+	}
+	i := strings.Index(s, ":")
+	switch {
+	case i < 0:
+		return "", "", fmt.Errorf("spec: line %d: expected \"key: value\", got %q", line.num, s)
+	case i+1 < len(s) && s[i+1] != ' ':
+		return "", "", fmt.Errorf("spec: line %d: ':' must be followed by a space or end the line", line.num)
+	}
+	key = strings.TrimRight(s[:i], " ")
+	if key == "" {
+		return "", "", fmt.Errorf("spec: line %d: empty key", line.num)
+	}
+	return key, strings.TrimLeft(s[i+1:], " "), nil
+}
+
+// looksLikeKey reports whether a list item's inline content opens a
+// mapping ("name: web") rather than being a scalar.
+func looksLikeKey(s string) bool {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ':':
+			return i+1 == len(s) || s[i+1] == ' '
+		}
+	}
+	return false
+}
+
+// scalar interprets one value: quoted string, bool, null, int,
+// float, empty flow collection, or plain string.
+func scalar(s string, num int) (any, error) {
+	switch s {
+	case "[]":
+		return []any{}, nil
+	case "{}":
+		return map[string]any{}, nil
+	case "null", "~":
+		return nil, nil
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	}
+	if s[0] == '"' {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("spec: line %d: bad quoted string %s", num, s)
+		}
+		return v, nil
+	}
+	if s[0] == '\'' {
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("spec: line %d: unterminated string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if s[0] == '[' || s[0] == '{' || s[0] == '&' || s[0] == '*' || s[0] == '|' || s[0] == '>' {
+		return nil, fmt.Errorf("spec: line %d: unsupported YAML construct %q (flow collections, anchors, and block scalars are not part of the spec dialect)", num, s)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -26,6 +26,7 @@ package mapsim
 
 import (
 	"context"
+	"io"
 
 	"github.com/maps-sim/mapsim/internal/cache"
 	"github.com/maps-sim/mapsim/internal/cache/eva"
@@ -41,6 +42,7 @@ import (
 	"github.com/maps-sim/mapsim/internal/sim"
 	"github.com/maps-sim/mapsim/internal/trace"
 	"github.com/maps-sim/mapsim/internal/workload"
+	"github.com/maps-sim/mapsim/internal/workload/spec"
 )
 
 // Simulation API.
@@ -137,6 +139,44 @@ type SyntheticConfig = workload.SyntheticConfig
 // NewSynthetic builds a workload generator from explicit locality,
 // footprint, and write-mix knobs.
 func NewSynthetic(cfg SyntheticConfig) (Generator, error) { return workload.NewSynthetic(cfg) }
+
+// WorkloadSpec is a declarative multi-client workload description
+// (YAML or JSON); see docs/WORKLOADS.md for the schema.
+type WorkloadSpec = spec.Spec
+
+// ParseWorkloadSpec decodes a YAML or JSON workload spec and
+// validates it. The result can be set on Config.WorkloadSpec or
+// turned into a Generator directly.
+func ParseWorkloadSpec(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
+
+// NewTraceReplay builds a generator that replays a recorded workload
+// trace (see `mapstrace record-workload`) in constant memory, looping
+// when the simulation outruns the recording.
+func NewTraceReplay(path string) (Generator, error) { return workload.NewTraceReplay(path) }
+
+// Streaming trace I/O: constant-memory readers and writers for
+// recorded access streams (the `mapstrace record-workload` format).
+type (
+	// TraceRecord is one streamed trace record.
+	TraceRecord = trace.Record
+	// TraceReader decodes a trace stream record by record.
+	TraceReader = trace.Reader
+	// TraceWriter encodes a trace stream record by record.
+	TraceWriter = trace.Writer
+	// TraceStreamHeader describes a streamed trace.
+	TraceStreamHeader = trace.StreamHeader
+)
+
+// NewTraceReader opens a streaming trace reader; it accepts both the
+// streaming format and the legacy in-memory trace format.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceWriter opens a streaming trace writer (optionally
+// gzip-compressed). Close flushes the end-of-stream marker that lets
+// readers distinguish clean ends from truncation.
+func NewTraceWriter(w io.Writer, h TraceStreamHeader, compress bool) (*TraceWriter, error) {
+	return trace.NewWriter(w, h, compress)
+}
 
 // NewLRU returns true least-recently-used replacement.
 func NewLRU() ReplacementPolicy { return policy.NewLRU() }
